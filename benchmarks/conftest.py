@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a figure or a
+closed-form claim), checks the paper-vs-measured comparison with hard
+assertions, and reports it as an :class:`repro.analysis.report.ExperimentReport`
+table on stdout (run ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20240614)
+
+
+@pytest.fixture
+def show_report(capsys):
+    """Print an ExperimentReport table without it being swallowed silently."""
+
+    def _show(report) -> None:
+        with capsys.disabled():
+            print()
+            print(report.format_table())
+
+    return _show

@@ -1,0 +1,47 @@
+"""F5 — Fig. 5: spiral feedback interconnection of the hexagonal array.
+
+The figure shows the hexagonal array with its output diagonals fed back to
+input diagonals: the main diagonal onto itself and the sub-diagonals in
+pairs, such that every loop crosses exactly ``w`` processing elements.
+This benchmark rebuilds the topology for a range of array sizes and checks
+the loop structure and the memory-element counts stated in Section 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import render_fig5_spiral_topology
+from repro.analysis.report import ExperimentReport
+from repro.systolic.feedback import SpiralFeedbackTopology
+
+
+@pytest.mark.parametrize("w", [2, 3, 4, 6, 8])
+def test_fig5_spiral_topology(benchmark, w, show_report):
+    topology = benchmark(SpiralFeedbackTopology, w)
+
+    report = ExperimentReport("F5", f"Fig. 5 — spiral feedback topology, w={w}")
+    report.add("feedback loops", w, topology.loop_count)
+    report.add("PEs per loop", w, max(loop.cells for loop in topology.loops))
+    report.add(
+        "main-diagonal registers (2w)", 2 * w, topology.loops[0].registers
+    )
+    report.add(
+        "regular registers total (2w + (w-1) w)",
+        2 * w + (w - 1) * w,
+        topology.regular_register_count(),
+    )
+    report.add(
+        "irregular registers (3 w (w-1) / 2)",
+        3 * w * (w - 1) // 2,
+        topology.irregular_register_count(),
+    )
+    assert report.all_match
+    assert all(loop.cells == w for loop in topology.loops)
+    show_report(report)
+
+
+def test_fig5_rendering_names_every_loop(benchmark):
+    text = benchmark(render_fig5_spiral_topology, 4)
+    assert text.count("->") == 4
+    assert "auto-feedback" in text

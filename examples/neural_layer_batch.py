@@ -1,0 +1,77 @@
+"""Batched dense-layer inference on the hexagonal matrix-matrix array.
+
+A fully connected layer applied to a batch of inputs is the matrix-matrix
+product ``Y = W X + B`` — weights times activations plus a broadcast bias —
+which is exactly the ``C = A B + E`` operation Section 3 of the paper maps
+onto the w x w hexagonal array.  Layer widths and batch sizes change from
+model to model; the array size does not.  This example pushes a small
+multi-layer perceptron through one and the same 3x3 array, using the DBT
+matrix-matrix pipeline for every layer, and reports the array occupancy.
+
+Run with:  python examples/neural_layer_batch.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SizeIndependentMatMul
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    return np.maximum(values, 0.0)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    w = 3
+    array = SizeIndependentMatMul(w)
+
+    batch = 7                      # number of samples processed at once
+    layer_sizes = [11, 8, 5, 2]    # input features -> hidden -> hidden -> output
+    activations = rng.normal(size=(layer_sizes[0], batch))
+
+    weights = [
+        rng.normal(scale=0.5, size=(layer_sizes[i + 1], layer_sizes[i]))
+        for i in range(len(layer_sizes) - 1)
+    ]
+    biases = [rng.normal(scale=0.1, size=layer_sizes[i + 1]) for i in range(len(layer_sizes) - 1)]
+
+    print(f"3-layer perceptron, batch of {batch}, on one {w}x{w} hexagonal array")
+    print("-" * 78)
+    print(f"{'layer':>5} {'weights':>10} {'steps':>7} {'paper T':>8} "
+          f"{'utilization':>12} {'paper eta':>10} {'max error':>10}")
+
+    reference = activations
+    simulated = activations
+    total_steps = 0
+    for index, (w_matrix, bias) in enumerate(zip(weights, biases)):
+        bias_block = np.tile(bias[:, None], (1, batch))
+
+        solution = array.solve(w_matrix, simulated, bias_block)
+        expected = w_matrix @ reference + bias_block
+        error = float(np.max(np.abs(solution.c - expected)))
+        total_steps += solution.measured_steps
+
+        print(
+            f"{index:>5} {str(w_matrix.shape):>10} {solution.measured_steps:>7} "
+            f"{solution.predicted_steps:>8} {solution.measured_utilization:>12.3f} "
+            f"{solution.predicted_utilization:>10.3f} {error:>10.2e}"
+        )
+
+        is_output_layer = index == len(weights) - 1
+        reference = expected if is_output_layer else relu(expected)
+        simulated = solution.c if is_output_layer else relu(solution.c)
+
+    print("-" * 78)
+    print(f"total array steps for the forward pass: {total_steps}")
+    final_error = float(np.max(np.abs(simulated - reference)))
+    print(f"end-to-end max |error| vs NumPy forward pass: {final_error:.2e}")
+    print()
+    print("Every layer, whatever its shape, ran on the same 9 processing elements;")
+    print("the bias entered through the array's C ports and all partial products")
+    print("were accumulated inside the array by the spiral feedback.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""FIR filtering on a fixed-size linear systolic array.
+
+Signal processing was the application domain that motivated the contraflow
+arrays the paper builds on (Priester et al. 1981, reference /6/).  An FIR
+filter of length ``taps`` applied to a signal of length ``N`` is the
+matrix-vector product of an ``N x (N + taps - 1)``-ish convolution matrix
+with the padded signal — a *dense-band* matrix whose dimensions are set by
+the workload, not by the hardware.
+
+A real array has a fixed number of cells.  This example filters signals of
+several lengths, with several filter lengths, on one and the same 5-cell
+array, using the DBT transformation to adapt every problem to the array,
+and compares the utilization with what the naive block strategy achieves.
+
+Run with:  python examples/signal_processing_fir.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SizeIndependentMatVec
+from repro.baselines import NaiveBlockMatVec
+
+
+def convolution_matrix(kernel: np.ndarray, signal_length: int) -> np.ndarray:
+    """Dense matrix whose product with the signal is the 'valid' convolution."""
+    taps = len(kernel)
+    output_length = signal_length - taps + 1
+    matrix = np.zeros((output_length, signal_length))
+    for row in range(output_length):
+        matrix[row, row : row + taps] = kernel[::-1]
+    return matrix
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    w = 5  # the array has five cells, full stop
+    array = SizeIndependentMatVec(w)
+    naive = NaiveBlockMatVec(w)
+
+    print(f"One {w}-cell linear contraflow array, many FIR filtering problems")
+    print("-" * 76)
+    print(f"{'signal':>8} {'taps':>6} {'outputs':>8} {'steps':>7} "
+          f"{'DBT util':>9} {'naive util':>11} {'max error':>10}")
+
+    workloads = [
+        (24, 4),   # short burst, short filter
+        (48, 8),   # medium
+        (96, 8),   # long signal, same filter
+        (96, 16),  # long signal, long filter
+    ]
+    for signal_length, taps in workloads:
+        signal = rng.normal(size=signal_length)
+        kernel = np.hamming(taps) / np.hamming(taps).sum()
+        matrix = convolution_matrix(kernel, signal_length)
+
+        solution = array.solve(matrix, signal)
+        reference = np.convolve(signal, kernel, mode="valid")
+        error = float(np.max(np.abs(solution.y - reference)))
+
+        baseline = naive.solve(matrix, signal)
+        print(
+            f"{signal_length:>8} {taps:>6} {matrix.shape[0]:>8} "
+            f"{solution.measured_steps:>7} {solution.measured_utilization:>9.3f} "
+            f"{baseline.utilization:>11.3f} {error:>10.2e}"
+        )
+
+    print("-" * 76)
+    print("The DBT utilization approaches the paper's 1/2 limit as the signal")
+    print("grows; the naive strategy needs a 9-cell array and stays far below it.")
+
+    print()
+    print("Overlapped execution (two half-signals interleaved on the idle cycles):")
+    signal = rng.normal(size=96)
+    kernel = np.hamming(8) / np.hamming(8).sum()
+    matrix = convolution_matrix(kernel, 96)
+    overlapped = SizeIndependentMatVec(w, overlapped=True).solve(matrix, signal)
+    reference = np.convolve(signal, kernel, mode="valid")
+    assert np.allclose(overlapped.y, reference)
+    print(
+        f"  steps {overlapped.measured_steps} "
+        f"(vs {array.solve(matrix, signal).measured_steps} without overlapping), "
+        f"utilization {overlapped.measured_utilization:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Block-sparse operands: skipping the zero blocks (Section 4 conclusions).
+
+Structured applications — finite-difference stencils, multi-body coupling
+matrices, block-banded systems — produce dense-stored matrices most of
+whose ``w x w`` blocks are exactly zero.  The paper's conclusions point out
+that the DBT transformation can be refined to exclude those blocks and cut
+the execution time accordingly.
+
+This example builds the block-tridiagonal matrix of a chain of coupled
+subsystems, runs it through the plain DBT pipeline and through the
+block-sparse variant on the same 3-cell array, and reports the saving.
+
+Run with:  python examples/sparse_workload.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SizeIndependentMatVec
+from repro.extensions import BlockSparseMatVec
+
+
+def block_tridiagonal(rng: np.random.Generator, blocks: int, w: int) -> np.ndarray:
+    """Chain of `blocks` subsystems, each coupled only to its neighbours."""
+    matrix = np.zeros((blocks * w, blocks * w))
+    for i in range(blocks):
+        matrix[i * w : (i + 1) * w, i * w : (i + 1) * w] = rng.normal(size=(w, w)) + 4 * np.eye(w)
+        if i > 0:
+            matrix[i * w : (i + 1) * w, (i - 1) * w : i * w] = 0.3 * rng.normal(size=(w, w))
+        if i < blocks - 1:
+            matrix[i * w : (i + 1) * w, (i + 1) * w : (i + 2) * w] = 0.3 * rng.normal(size=(w, w))
+    return matrix
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    w = 3
+
+    print(f"Block-tridiagonal coupling matrices on one {w}-cell linear array")
+    print("-" * 74)
+    print(f"{'subsystems':>11} {'matrix':>10} {'zero blocks':>12} "
+          f"{'dense steps':>12} {'sparse steps':>13} {'saving':>8}")
+
+    for blocks in (3, 5, 8, 12):
+        matrix = block_tridiagonal(rng, blocks, w)
+        x = rng.normal(size=blocks * w)
+        b = rng.normal(size=blocks * w)
+
+        dense = SizeIndependentMatVec(w).solve(matrix, x, b)
+        sparse = BlockSparseMatVec(w).solve(matrix, x, b)
+        reference = matrix @ x + b
+        assert np.allclose(dense.y, reference)
+        assert np.allclose(sparse.y, reference)
+
+        print(
+            f"{blocks:>11} {str(matrix.shape):>10} "
+            f"{sparse.transform.skipped_block_count:>12} "
+            f"{dense.measured_steps:>12} {sparse.measured_steps:>13} "
+            f"{sparse.saving:>7.0%}"
+        )
+
+    print("-" * 74)
+    print("The denser the coupling, the smaller the saving; a fully dense matrix")
+    print("degenerates to the plain DBT-by-rows schedule with no overhead.")
+
+
+if __name__ == "__main__":
+    main()

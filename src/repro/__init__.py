@@ -1,0 +1,96 @@
+"""repro: size-independent matrix problems on fixed-size systolic arrays.
+
+A faithful, executable reproduction of
+
+    J.J. Navarro, J.M. Llaberia, M. Valero,
+    "Computing Size-Independent Matrix Problems on Systolic Array
+    Processors", ISCA 1986, pp. 271-278.
+
+The package contains the paper's DBT transformations (``repro.core``),
+cycle-accurate simulators of H.T. Kung's linear and hexagonal contraflow
+systolic arrays (``repro.systolic``), the matrix infrastructure they share
+(``repro.matrices``), the comparison strategies the paper cites
+(``repro.baselines``), the applications Section 4 mentions
+(``repro.extensions``), and figure/report regeneration helpers
+(``repro.analysis``).
+
+Quickstart::
+
+    import numpy as np
+    from repro import SizeIndependentMatVec
+
+    A = np.random.default_rng(0).normal(size=(10, 7))
+    x = np.random.default_rng(1).normal(size=7)
+    solution = SizeIndependentMatVec(w=4).solve(A, x)
+    assert np.allclose(solution.y, A @ x)
+    print(solution.summary())
+"""
+
+from .core.analytic import (
+    MatMulModel,
+    MatVecModel,
+    matmul_steps,
+    matmul_utilization,
+    matvec_steps,
+    matvec_utilization,
+)
+from .core.dbt import DBTByRowsTransform, dbt_by_rows
+from .core.dbt_transposed import DBTTransposedByRowsTransform, dbt_transposed_by_rows
+from .core.matmul import MatMulSolution, SizeIndependentMatMul
+from .core.matvec import MatVecSolution, SizeIndependentMatVec
+from .core.operands import MatMulOperands
+from .core.recovery import PartialResultMap
+from .errors import (
+    ArraySizeError,
+    BandwidthError,
+    FeedbackError,
+    RecoveryError,
+    ReproError,
+    ScheduleError,
+    ShapeError,
+    SimulationError,
+    TransformError,
+)
+from .matrices.banded import BandMatrix
+from .matrices.blocks import BlockGrid
+from .systolic.feedback import ShiftRegisterFeedback, SpiralFeedbackTopology
+from .systolic.hex_array import HexagonalArray
+from .systolic.linear_array import LinearContraflowArray, LinearProblem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArraySizeError",
+    "BandMatrix",
+    "BandwidthError",
+    "BlockGrid",
+    "DBTByRowsTransform",
+    "DBTTransposedByRowsTransform",
+    "FeedbackError",
+    "HexagonalArray",
+    "LinearContraflowArray",
+    "LinearProblem",
+    "MatMulModel",
+    "MatMulOperands",
+    "MatMulSolution",
+    "MatVecModel",
+    "MatVecSolution",
+    "PartialResultMap",
+    "RecoveryError",
+    "ReproError",
+    "ScheduleError",
+    "ShapeError",
+    "ShiftRegisterFeedback",
+    "SimulationError",
+    "SizeIndependentMatMul",
+    "SizeIndependentMatVec",
+    "SpiralFeedbackTopology",
+    "TransformError",
+    "__version__",
+    "dbt_by_rows",
+    "dbt_transposed_by_rows",
+    "matmul_steps",
+    "matmul_utilization",
+    "matvec_steps",
+    "matvec_utilization",
+]

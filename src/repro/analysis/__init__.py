@@ -1,0 +1,22 @@
+"""Figure regeneration and experiment reporting helpers."""
+
+from .figures import (
+    render_fig1_block_structure,
+    render_fig2_concrete_case,
+    render_fig3_dataflow,
+    render_fig4_matmul_blocks,
+    render_fig5_spiral_topology,
+    render_fig6_recovery_map,
+)
+from .report import ExperimentReport, ExperimentRow
+
+__all__ = [
+    "ExperimentReport",
+    "ExperimentRow",
+    "render_fig1_block_structure",
+    "render_fig2_concrete_case",
+    "render_fig3_dataflow",
+    "render_fig4_matmul_blocks",
+    "render_fig5_spiral_topology",
+    "render_fig6_recovery_map",
+]

@@ -1,0 +1,97 @@
+"""Paper-versus-measured experiment reporting.
+
+The benchmark harness produces, for every experiment of the index in
+``DESIGN.md``, a small table of rows comparing the value printed in the
+paper (or computed from its closed forms) with the value measured on the
+simulators.  :class:`ExperimentReport` is the shared formatting helper so
+that every benchmark prints its results the same way and
+``EXPERIMENTS.md`` can be assembled from identical tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+__all__ = ["ExperimentRow", "ExperimentReport"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One paper-vs-measured comparison."""
+
+    label: str
+    paper: Number
+    measured: Number
+    note: str = ""
+
+    @property
+    def matches(self) -> bool:
+        """Exact match for integers, 1% relative tolerance for floats."""
+        if isinstance(self.paper, int) and isinstance(self.measured, int):
+            return self.paper == self.measured
+        if self.paper == 0:
+            return abs(self.measured) < 1e-12
+        return abs(self.measured - self.paper) / abs(self.paper) <= 0.01
+
+    @property
+    def ratio(self) -> float:
+        """Measured over paper value (``inf`` when the paper value is zero)."""
+        if self.paper == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.paper
+
+
+@dataclass
+class ExperimentReport:
+    """A titled collection of comparison rows."""
+
+    experiment: str
+    description: str = ""
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def add(
+        self, label: str, paper: Number, measured: Number, note: str = ""
+    ) -> ExperimentRow:
+        row = ExperimentRow(label=label, paper=paper, measured=measured, note=note)
+        self.rows.append(row)
+        return row
+
+    @property
+    def all_match(self) -> bool:
+        return all(row.matches for row in self.rows)
+
+    def mismatches(self) -> List[ExperimentRow]:
+        return [row for row in self.rows if not row.matches]
+
+    def format_table(self, float_digits: int = 4) -> str:
+        """Aligned text table of all rows."""
+        header = [self.experiment]
+        if self.description:
+            header.append(self.description)
+        columns = ["metric", "paper", "measured", "match", "note"]
+
+        def fmt(value: Number) -> str:
+            if isinstance(value, int):
+                return str(value)
+            return f"{value:.{float_digits}f}"
+
+        body = [
+            [row.label, fmt(row.paper), fmt(row.measured), "yes" if row.matches else "NO", row.note]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(columns[i]), *(len(line[i]) for line in body)) if body else len(columns[i])
+            for i in range(len(columns))
+        ]
+        lines = list(header)
+        lines.append("  ".join(columns[i].ljust(widths[i]) for i in range(len(columns))))
+        lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+        for line in body:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format_table()

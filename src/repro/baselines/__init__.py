@@ -1,0 +1,19 @@
+"""Comparison strategies: the NumPy oracle and the alternatives the paper cites."""
+
+from .block_partition import BlockPartitionedMatVec, BlockPartitionedResult
+from .naive_band import NaiveBaselineResult, NaiveBlockMatMul, NaiveBlockMatVec
+from .prt import PRTMatVec, PRTSolution, PRTTransform
+from .reference import reference_matmul, reference_matvec
+
+__all__ = [
+    "BlockPartitionedMatVec",
+    "BlockPartitionedResult",
+    "NaiveBaselineResult",
+    "NaiveBlockMatMul",
+    "NaiveBlockMatVec",
+    "PRTMatVec",
+    "PRTSolution",
+    "PRTTransform",
+    "reference_matmul",
+    "reference_matvec",
+]

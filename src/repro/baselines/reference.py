@@ -1,0 +1,41 @@
+"""Dense NumPy reference operations.
+
+Every simulated execution in the test-suite and in the benchmarks is
+checked against these functions; they are deliberately the most boring
+possible implementations so that there is no doubt about what "correct"
+means.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..matrices.dense import as_matrix, as_vector
+
+__all__ = ["reference_matvec", "reference_matmul"]
+
+
+def reference_matvec(
+    matrix: np.ndarray, x: np.ndarray, b: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """``y = A x + b`` computed directly with NumPy."""
+    matrix = as_matrix(matrix, "matrix")
+    x = as_vector(x, "x")
+    y = matrix @ x
+    if b is not None:
+        y = y + as_vector(b, "b")
+    return y
+
+
+def reference_matmul(
+    a: np.ndarray, b: np.ndarray, e: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """``C = A B + E`` computed directly with NumPy."""
+    a = as_matrix(a, "A")
+    b = as_matrix(b, "B")
+    c = a @ b
+    if e is not None:
+        c = c + as_matrix(e, "E")
+    return c

@@ -1,0 +1,375 @@
+"""DBT-by-rows: the paper's dense-to-band transformation for y = A x + b.
+
+Section 2 of the paper defines a family of transformations (DBT: *Dense to
+Band matrix Transformation by Triangular blocks partitioning*) that map a
+dense ``n x m`` matrix ``A`` onto a band matrix ``A~`` whose bandwidth
+equals the linear systolic array size ``w``:
+
+1. ``A`` is padded and split into ``n_bar x m_bar`` blocks ``A_ij`` of
+   ``w x w`` elements each.
+2. Every block is split into an upper triangle ``U_ij`` (with the main
+   diagonal) and a strictly lower triangle ``L_ij``.
+3. The triangles are re-packed inside the band: band block row ``k`` holds
+   one ``U`` on the diagonal block and one ``L`` on the super-diagonal
+   block, chosen so that
+
+   * (condition 1) the ``U`` and ``L`` of a band block row come from the
+     same original block row,
+   * (condition 2) the ``L`` of band block row ``k`` and the ``U`` of band
+     block row ``k+1`` come from the same original block column, and
+   * (condition 3) every original triangle appears exactly once.
+
+The *by-rows* member of the family fixes the choice to
+
+    ``U_k = U_{r,s}``  with ``r = floor(k / m_bar)``, ``s = k mod m_bar``
+    ``L_k = L_{r,s'}`` with ``s' = (k mod m_bar + 1) mod m_bar``
+
+which walks the original blocks row by row and yields a constant feedback
+delay equal to ``w`` (Section 2).  The Priester et al. PRT transformation
+is the particular case ``n_bar = m_bar = 1``.
+
+:class:`DBTByRowsTransform` builds the band matrix, the transformed
+vectors, the input/output schedules for the linear array, and the result
+recovery map, and can audit the three DBT conditions and the
+band-completely-filled property on itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TransformError
+from ..matrices.blocks import BlockGrid
+from ..matrices.banded import BandMatrix
+from ..matrices.dense import as_matrix, as_vector
+from ..matrices.padding import pad_vector, validate_array_size
+from ..systolic.feedback import ExternalSource, FeedbackSource
+
+__all__ = ["BlockAssignment", "DBTByRowsTransform", "dbt_by_rows"]
+
+
+@dataclass(frozen=True)
+class BlockAssignment:
+    """Sources of the two triangles placed in band block row ``k``.
+
+    ``upper_source`` and ``lower_source`` are original block grid indices
+    ``(i, j)``; the upper triangle of block ``upper_source`` lands on the
+    diagonal block of band block row ``k`` and the strictly lower triangle
+    of block ``lower_source`` lands on its super-diagonal block.
+    """
+
+    k: int
+    upper_source: Tuple[int, int]
+    lower_source: Tuple[int, int]
+
+
+class DBTByRowsTransform:
+    """The DBT-by-rows transformation of one dense matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The dense matrix ``A`` (any shape; it is zero padded internally).
+    w:
+        Systolic array size, which becomes the bandwidth of ``A~``.
+    """
+
+    def __init__(self, matrix: np.ndarray, w: int):
+        self._w = validate_array_size(w)
+        matrix = as_matrix(matrix, "matrix")
+        self._original_shape = matrix.shape
+        self._grid = BlockGrid(matrix, self._w)
+        self._n_bar = self._grid.block_rows
+        self._m_bar = self._grid.block_cols
+        self._assignments = self._build_assignments()
+        self._band, self._provenance = self._assemble_band()
+
+    # -- construction -----------------------------------------------------------
+    def _build_assignments(self) -> List[BlockAssignment]:
+        assignments = []
+        for k in range(self.block_row_count):
+            r = k // self._m_bar
+            s = k % self._m_bar
+            s_lower = (s + 1) % self._m_bar
+            assignments.append(
+                BlockAssignment(k=k, upper_source=(r, s), lower_source=(r, s_lower))
+            )
+        return assignments
+
+    def _assemble_band(self) -> Tuple[BandMatrix, Dict[Tuple[int, int], Tuple[int, int]]]:
+        w = self._w
+        rows = self.band_rows
+        cols = self.band_cols
+        band = BandMatrix(rows, cols, lower=0, upper=w - 1)
+        provenance: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+        for assignment in self._assignments:
+            k = assignment.k
+            upper = self._grid.upper(*assignment.upper_source)
+            lower = self._grid.lower(*assignment.lower_source)
+            ur, us = assignment.upper_source
+            lr, ls = assignment.lower_source
+            base_row = k * w
+            # Upper triangle on the diagonal block.
+            for a in range(w):
+                for b in range(a, w):
+                    i, j = base_row + a, base_row + b
+                    band.set(i, j, upper[a, b])
+                    self._record_provenance(provenance, (i, j), (ur * w + a, us * w + b))
+            # Strictly lower triangle on the super-diagonal block.  Its last
+            # column is structurally zero and falls outside the band matrix
+            # when k is the last block row, which loses no information.
+            for a in range(1, w):
+                for b in range(a):
+                    i, j = base_row + a, base_row + w + b
+                    if j >= cols:
+                        raise TransformError(
+                            f"band assembly placed an element outside the band matrix "
+                            f"at ({i}, {j})"
+                        )
+                    band.set(i, j, lower[a, b])
+                    self._record_provenance(provenance, (i, j), (lr * w + a, ls * w + b))
+        return band, provenance
+
+    @staticmethod
+    def _record_provenance(
+        provenance: Dict[Tuple[int, int], Tuple[int, int]],
+        band_position: Tuple[int, int],
+        origin: Tuple[int, int],
+    ) -> None:
+        if band_position in provenance:
+            raise TransformError(
+                f"band position {band_position} assigned twice "
+                f"({provenance[band_position]} and {origin})"
+            )
+        provenance[band_position] = origin
+
+    # -- geometry ---------------------------------------------------------------
+    @property
+    def w(self) -> int:
+        return self._w
+
+    @property
+    def original_shape(self) -> Tuple[int, int]:
+        return self._original_shape
+
+    @property
+    def n_bar(self) -> int:
+        """Number of block rows of the original matrix (``ceil(n / w)``)."""
+        return self._n_bar
+
+    @property
+    def m_bar(self) -> int:
+        """Number of block columns of the original matrix (``ceil(m / w)``)."""
+        return self._m_bar
+
+    @property
+    def block_row_count(self) -> int:
+        """Number of band block rows, ``n_bar * m_bar``."""
+        return self._n_bar * self._m_bar
+
+    @property
+    def band_rows(self) -> int:
+        return self.block_row_count * self._w
+
+    @property
+    def band_cols(self) -> int:
+        return self.band_rows + self._w - 1
+
+    @property
+    def assignments(self) -> Sequence[BlockAssignment]:
+        return tuple(self._assignments)
+
+    @property
+    def band(self) -> BandMatrix:
+        """The transformed band matrix ``A~`` (bandwidth ``w``, upper band)."""
+        return self._band.copy()
+
+    @property
+    def grid(self) -> BlockGrid:
+        return self._grid
+
+    def provenance(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        """Map from band position to (padded) original position."""
+        return dict(self._provenance)
+
+    # -- transformed vectors ------------------------------------------------------
+    def transform_x(self, x: np.ndarray) -> np.ndarray:
+        """Build the transformed vector ``x~`` of length ``band_cols``.
+
+        Block ``k`` of ``x~`` is block ``k mod m_bar`` of the (padded)
+        original vector; the final, ``w-1`` element, block repeats the
+        first ``w-1`` elements of block 0 — exactly the amount the strictly
+        lower triangle of the last band block row needs.
+        """
+        x = as_vector(x, "x")
+        if x.shape[0] != self._original_shape[1]:
+            raise TransformError(
+                f"x has length {x.shape[0]}, expected {self._original_shape[1]}"
+            )
+        padded = pad_vector(x, self._w)
+        w = self._w
+        out = np.zeros(self.band_cols, dtype=float)
+        for k in range(self.block_row_count):
+            source = (k % self._m_bar) * w
+            out[k * w : (k + 1) * w] = padded[source : source + w]
+        out[self.block_row_count * w :] = padded[: w - 1]
+        return out
+
+    def x_tags(self) -> List[tuple]:
+        """Stream tags naming every element of ``x~`` after its original index."""
+        w = self._w
+        tags: List[tuple] = []
+        for k in range(self.block_row_count):
+            base = (k % self._m_bar) * w
+            tags.extend(("x", base + offset) for offset in range(w))
+        tags.extend(("x", offset) for offset in range(w - 1))
+        return tags
+
+    def build_y_sources(self, b: Optional[np.ndarray]) -> List[object]:
+        """Initial-value plan for every band row (the ``b~`` rules of Section 2).
+
+        Band block row ``k`` starts from the original ``b`` block when it is
+        the first band block row of its original block row
+        (``k mod m_bar == 0``); every other band block row starts from the
+        partial result fed back from the previous band block row, which the
+        array provides through the ``w``-register feedback chain.
+        """
+        n = self._original_shape[0]
+        if b is None:
+            b_vec = np.zeros(n, dtype=float)
+        else:
+            b_vec = as_vector(b, "b")
+            if b_vec.shape[0] != n:
+                raise TransformError(f"b has length {b_vec.shape[0]}, expected {n}")
+        padded = pad_vector(b_vec, self._w)
+        w = self._w
+        sources: List[object] = []
+        for k in range(self.block_row_count):
+            r = k // self._m_bar
+            pass_index = k % self._m_bar
+            for offset in range(w):
+                element = r * w + offset
+                if pass_index == 0:
+                    sources.append(
+                        ExternalSource(value=float(padded[element]), tag=("b", element))
+                    )
+                else:
+                    sources.append(FeedbackSource(tag=("y", element, pass_index - 1)))
+        return sources
+
+    def output_tags(self) -> List[tuple]:
+        """Tags of the band row outputs: partial passes and final results."""
+        w = self._w
+        tags: List[tuple] = []
+        for k in range(self.block_row_count):
+            r = k // self._m_bar
+            pass_index = k % self._m_bar
+            final = pass_index == self._m_bar - 1
+            for offset in range(w):
+                element = r * w + offset
+                if final:
+                    tags.append(("y", element))
+                else:
+                    tags.append(("y", element, pass_index))
+        return tags
+
+    def final_band_rows(self) -> List[int]:
+        """Band row indices whose output is a final element of ``y``."""
+        rows = []
+        w = self._w
+        for k in range(self.block_row_count):
+            if k % self._m_bar == self._m_bar - 1:
+                rows.extend(range(k * w, (k + 1) * w))
+        return rows
+
+    def recover_y(self, band_outputs: np.ndarray) -> np.ndarray:
+        """Extract ``y`` from the per-band-row outputs of the array."""
+        band_outputs = np.asarray(band_outputs, dtype=float)
+        if band_outputs.shape != (self.band_rows,):
+            raise TransformError(
+                f"expected {self.band_rows} band outputs, got {band_outputs.shape}"
+            )
+        w = self._w
+        padded = np.zeros(self._n_bar * w, dtype=float)
+        for k in range(self.block_row_count):
+            if k % self._m_bar != self._m_bar - 1:
+                continue
+            r = k // self._m_bar
+            padded[r * w : (r + 1) * w] = band_outputs[k * w : (k + 1) * w]
+        return padded[: self._original_shape[0]].copy()
+
+    # -- audits --------------------------------------------------------------------
+    def verify_conditions(self) -> None:
+        """Check the three structural DBT conditions of Section 2.
+
+        Raises :class:`~repro.errors.TransformError` when violated; the
+        by-rows construction always satisfies them, so this is primarily a
+        guard for subclasses or hand-built assignments.
+        """
+        upper_seen: Dict[Tuple[int, int], int] = {}
+        lower_seen: Dict[Tuple[int, int], int] = {}
+        for assignment in self._assignments:
+            if assignment.upper_source in upper_seen:
+                raise TransformError(
+                    f"upper triangle {assignment.upper_source} used twice "
+                    f"(band rows {upper_seen[assignment.upper_source]} and {assignment.k})"
+                )
+            if assignment.lower_source in lower_seen:
+                raise TransformError(
+                    f"lower triangle {assignment.lower_source} used twice "
+                    f"(band rows {lower_seen[assignment.lower_source]} and {assignment.k})"
+                )
+            upper_seen[assignment.upper_source] = assignment.k
+            lower_seen[assignment.lower_source] = assignment.k
+
+        expected = {
+            (i, j) for i in range(self._n_bar) for j in range(self._m_bar)
+        }
+        if set(upper_seen) != expected or set(lower_seen) != expected:
+            raise TransformError("not every original triangle appears exactly once")
+
+        for assignment in self._assignments:
+            # Condition 1: U_k and L_k from the same original block row.
+            if assignment.upper_source[0] != assignment.lower_source[0]:
+                raise TransformError(
+                    f"band block row {assignment.k} mixes original block rows "
+                    f"{assignment.upper_source[0]} and {assignment.lower_source[0]}"
+                )
+        for assignment in self._assignments[:-1]:
+            # Condition 2: L_k and U_{k+1} from the same original block column.
+            next_upper = self._assignments[assignment.k + 1].upper_source
+            if assignment.lower_source[1] != next_upper[1]:
+                raise TransformError(
+                    f"band block rows {assignment.k} and {assignment.k + 1} mix "
+                    f"original block columns {assignment.lower_source[1]} and "
+                    f"{next_upper[1]}"
+                )
+
+    def band_fill_report(self) -> Tuple[int, int]:
+        """``(filled, total)`` in-band positions of the transformed matrix.
+
+        The paper's maximum-efficiency argument rests on the band being
+        completely filled with elements of the original (padded) matrix;
+        for DBT-by-rows ``filled == total`` always holds.
+        """
+        total = self._band.band_positions()
+        return len(self._provenance), total
+
+    def is_band_full(self) -> bool:
+        filled, total = self.band_fill_report()
+        return filled == total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DBTByRowsTransform(shape={self._original_shape}, w={self._w}, "
+            f"blocks={self._n_bar}x{self._m_bar})"
+        )
+
+
+def dbt_by_rows(matrix: np.ndarray, w: int) -> DBTByRowsTransform:
+    """Convenience constructor for :class:`DBTByRowsTransform`."""
+    return DBTByRowsTransform(matrix, w)

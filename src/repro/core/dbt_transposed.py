@@ -1,0 +1,119 @@
+"""DBT-transposed-by-rows: the lower-band member of the DBT family.
+
+Section 2 of the paper defines the second transformation used by the
+matrix-matrix pipeline:
+
+    ``DBT-transposed-by-rows(A) = (DBT-by-rows(A^T))^T``
+
+Applying DBT-by-rows to the transpose of a matrix and transposing the
+result produces a *lower*-band matrix of bandwidth ``w`` whose diagonal
+blocks are the lower triangles (with the main diagonal) of the original
+``w x w`` blocks and whose sub-diagonal blocks are the strictly upper
+triangles.  It is the transformation applied to every column strip of the
+``B`` operand when solving ``C = A * B`` on the hexagonal array
+(Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..matrices.banded import BandMatrix
+from ..matrices.dense import as_matrix
+from ..matrices.padding import validate_array_size
+from .dbt import BlockAssignment, DBTByRowsTransform
+
+__all__ = ["DBTTransposedByRowsTransform", "dbt_transposed_by_rows"]
+
+
+class DBTTransposedByRowsTransform:
+    """DBT-transposed-by-rows of one dense matrix.
+
+    The object wraps a :class:`~repro.core.dbt.DBTByRowsTransform` of the
+    transposed input and re-expresses its band, provenance and block
+    assignments in the orientation of the original matrix.
+    """
+
+    def __init__(self, matrix: np.ndarray, w: int):
+        self._w = validate_array_size(w)
+        matrix = as_matrix(matrix, "matrix")
+        self._original_shape = matrix.shape
+        self._inner = DBTByRowsTransform(matrix.T, self._w)
+        self._band = self._inner.band.transpose()
+        self._provenance = {
+            (j, i): (orig_j, orig_i)
+            for (i, j), (orig_i, orig_j) in self._inner.provenance().items()
+        }
+
+    @property
+    def w(self) -> int:
+        return self._w
+
+    @property
+    def original_shape(self) -> Tuple[int, int]:
+        return self._original_shape
+
+    @property
+    def n_bar(self) -> int:
+        """Block rows of the original matrix (the inner transform's columns)."""
+        return self._inner.m_bar
+
+    @property
+    def m_bar(self) -> int:
+        """Block columns of the original matrix (the inner transform's rows)."""
+        return self._inner.n_bar
+
+    @property
+    def block_col_count(self) -> int:
+        """Number of band block columns, ``n_bar * m_bar`` of the inner transform."""
+        return self._inner.block_row_count
+
+    @property
+    def band_rows(self) -> int:
+        return self._inner.band_cols
+
+    @property
+    def band_cols(self) -> int:
+        return self._inner.band_rows
+
+    @property
+    def band(self) -> BandMatrix:
+        """The transformed band matrix: lower band of bandwidth ``w``."""
+        return self._band.copy()
+
+    @property
+    def assignments(self) -> List[BlockAssignment]:
+        """Assignments of the inner (transposed) by-rows transform.
+
+        The sources are block indices of the *transposed* matrix; callers
+        interested in the original orientation should swap the index pairs.
+        """
+        return list(self._inner.assignments)
+
+    def provenance(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        """Map from band position to (padded) original position."""
+        return dict(self._provenance)
+
+    def band_fill_report(self) -> Tuple[int, int]:
+        """``(filled, total)`` in-band positions; the band is always full."""
+        return len(self._provenance), self._band.band_positions()
+
+    def is_band_full(self) -> bool:
+        filled, total = self.band_fill_report()
+        return filled == total
+
+    def verify_conditions(self) -> None:
+        """The DBT structural conditions, checked on the inner transform."""
+        self._inner.verify_conditions()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DBTTransposedByRowsTransform(shape={self._original_shape}, w={self._w})"
+        )
+
+
+def dbt_transposed_by_rows(matrix: np.ndarray, w: int) -> DBTTransposedByRowsTransform:
+    """Convenience constructor for :class:`DBTTransposedByRowsTransform`."""
+    return DBTTransposedByRowsTransform(matrix, w)

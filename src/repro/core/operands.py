@@ -1,0 +1,345 @@
+"""Operand band construction for matrix-matrix multiplication (Section 3).
+
+To compute ``C = A * B`` (``A`` is ``n x p``, ``B`` is ``p x m``) on the
+``w x w`` hexagonal array, the paper builds two square band matrices of
+dimension ``m_bar * n_bar * p_bar * w + w - 1``:
+
+* ``A~`` — apply DBT-by-rows to ``A`` (yielding the band ``A^b`` with
+  ``n_bar p_bar`` block rows), juxtapose ``m_bar`` copies of ``A^b`` along
+  the band, and append the triangular tail ``U'`` (the first ``w-1`` rows
+  and columns of ``A^b``).  ``A~`` is upper-band of bandwidth ``w``.
+* ``B~`` — split ``B`` into ``m_bar`` column strips of width ``w``, apply
+  DBT-transposed-by-rows to every strip (yielding lower bands ``B_c^b``),
+  juxtapose ``n_bar`` copies of each strip band into ``B_c^d``, juxtapose
+  the ``m_bar`` strip bands, and append the triangular tail ``L'`` (the
+  first ``w-1`` rows and columns of ``B_0^b``).  ``B~`` is lower-band of
+  bandwidth ``w``.
+
+Both constructions are materialized directly from the block formulas those
+steps induce, together with a *provenance* map (band position -> original
+padded element) that the matrix-matrix pipeline uses to
+
+* check that every product ``a_ik * b_kj`` of the padded problem is
+  computed exactly once inside the band product (the duplicated tail
+  corner excepted, see :meth:`MatMulOperands.verify_product_coverage`), and
+* derive the partial-result placement and the spiral feedback plan without
+  relying on hand-transcribed index formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import TransformError
+from ..matrices.banded import BandMatrix
+from ..matrices.blocks import BlockGrid
+from ..matrices.dense import as_matrix
+from ..matrices.padding import validate_array_size
+
+__all__ = ["OperandBand", "MatMulOperands"]
+
+
+@dataclass
+class OperandBand:
+    """One transformed operand band plus its provenance bookkeeping.
+
+    ``row_origin[i]`` / ``col_origin[j]`` give the original (padded) row /
+    column index that band row ``i`` / band column ``j`` corresponds to;
+    the DBT conditions guarantee these maps are well defined.
+    """
+
+    band: BandMatrix
+    provenance: Dict[Tuple[int, int], Tuple[int, int]]
+    row_origin: np.ndarray
+    col_origin: np.ndarray
+
+    @property
+    def dimension(self) -> int:
+        return self.band.rows
+
+    def is_band_full(self) -> bool:
+        """Whether every in-band position carries an original element."""
+        return len(self.provenance) == self.band.band_positions()
+
+
+class MatMulOperands:
+    """Builds ``A~`` and ``B~`` for one ``C = A * B + E`` problem."""
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, w: int):
+        self._w = validate_array_size(w)
+        a = as_matrix(a, "A")
+        b = as_matrix(b, "B")
+        if a.shape[1] != b.shape[0]:
+            raise TransformError(
+                f"cannot multiply shapes {a.shape} and {b.shape}"
+            )
+        self._a_shape = a.shape
+        self._b_shape = b.shape
+        self._a_grid = BlockGrid(a, self._w)
+        self._b_grid = BlockGrid(b, self._w)
+        self._n_bar = self._a_grid.block_rows
+        self._p_bar = self._a_grid.block_cols
+        self._m_bar = self._b_grid.block_cols
+        if self._b_grid.block_rows != self._p_bar:
+            raise TransformError(
+                "inner block dimensions disagree after padding; this cannot happen"
+            )
+        self._a_band = self._build_a_band()
+        self._b_band = self._build_b_band()
+
+    # -- geometry -----------------------------------------------------------------
+    @property
+    def w(self) -> int:
+        return self._w
+
+    @property
+    def n_bar(self) -> int:
+        return self._n_bar
+
+    @property
+    def p_bar(self) -> int:
+        return self._p_bar
+
+    @property
+    def m_bar(self) -> int:
+        return self._m_bar
+
+    @property
+    def full_block_count(self) -> int:
+        """Number of full band block rows/columns: ``m_bar * n_bar * p_bar``."""
+        return self._m_bar * self._n_bar * self._p_bar
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the square transformed operands."""
+        return self.full_block_count * self._w + self._w - 1
+
+    @property
+    def copy_block_count(self) -> int:
+        """Band block rows contributed by one copy of ``A^b``: ``n_bar * p_bar``."""
+        return self._n_bar * self._p_bar
+
+    @property
+    def a_operand(self) -> OperandBand:
+        return self._a_band
+
+    @property
+    def b_operand(self) -> OperandBand:
+        return self._b_band
+
+    @property
+    def a_shape(self) -> Tuple[int, int]:
+        return self._a_shape
+
+    @property
+    def b_shape(self) -> Tuple[int, int]:
+        return self._b_shape
+
+    # -- construction of A~ ----------------------------------------------------------
+    def _build_a_band(self) -> OperandBand:
+        w = self._w
+        dim = self.dimension
+        band = BandMatrix(dim, dim, lower=0, upper=w - 1)
+        provenance: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        row_origin = np.full(dim, -1, dtype=int)
+        col_origin = np.full(dim, -1, dtype=int)
+
+        for block in range(self.full_block_count):
+            within_copy = block % self.copy_block_count
+            r = within_copy // self._p_bar
+            s = within_copy % self._p_bar
+            s_next = (s + 1) % self._p_bar
+            upper = np.triu(self._a_grid.block(r, s))
+            lower = np.tril(self._a_grid.block(r, s_next), k=-1)
+            base = block * w
+            for a_off in range(w):
+                row_origin[base + a_off] = r * w + a_off
+                for b_off in range(a_off, w):
+                    self._place(
+                        band, provenance, col_origin,
+                        base + a_off, base + b_off,
+                        upper[a_off, b_off],
+                        (r * w + a_off, s * w + b_off),
+                    )
+                for b_off in range(a_off):
+                    self._place(
+                        band, provenance, col_origin,
+                        base + a_off, base + w + b_off,
+                        lower[a_off, b_off],
+                        (r * w + a_off, s_next * w + b_off),
+                    )
+
+        # Tail U': the leading (w-1) x (w-1) corner of U_{0,0}.
+        tail_base = self.full_block_count * w
+        tail_block = np.triu(self._a_grid.block(0, 0))
+        for a_off in range(w - 1):
+            row_origin[tail_base + a_off] = a_off
+            for b_off in range(a_off, w - 1):
+                self._place(
+                    band, provenance, col_origin,
+                    tail_base + a_off, tail_base + b_off,
+                    tail_block[a_off, b_off],
+                    (a_off, b_off),
+                )
+        return OperandBand(
+            band=band, provenance=provenance,
+            row_origin=row_origin, col_origin=col_origin,
+        )
+
+    # -- construction of B~ -----------------------------------------------------------
+    def _build_b_band(self) -> OperandBand:
+        w = self._w
+        dim = self.dimension
+        band = BandMatrix(dim, dim, lower=w - 1, upper=0)
+        provenance: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        row_origin = np.full(dim, -1, dtype=int)
+        col_origin = np.full(dim, -1, dtype=int)
+
+        for block in range(self.full_block_count):
+            strip = block // self.copy_block_count
+            q = (block % self.copy_block_count) % self._p_bar
+            q_next = (q + 1) % self._p_bar
+            diag = np.tril(self._b_grid.block(q, strip))
+            sub = np.triu(self._b_grid.block(q_next, strip), k=1)
+            base = block * w
+            for b_off in range(w):
+                col_origin[base + b_off] = strip * w + b_off
+            for a_off in range(w):
+                for b_off in range(a_off + 1):
+                    self._place(
+                        band, provenance, row_origin,
+                        base + a_off, base + b_off,
+                        diag[a_off, b_off],
+                        (q * w + a_off, strip * w + b_off),
+                        origin_axis=0,
+                    )
+            for a_off in range(w - 1):
+                for b_off in range(a_off + 1, w):
+                    self._place(
+                        band, provenance, row_origin,
+                        base + w + a_off, base + b_off,
+                        sub[a_off, b_off],
+                        (q_next * w + a_off, strip * w + b_off),
+                        origin_axis=0,
+                    )
+
+        # Tail L': the leading (w-1) x (w-1) corner of tril(B_{0,0}).
+        tail_base = self.full_block_count * w
+        tail_block = np.tril(self._b_grid.block(0, 0))
+        for b_off in range(w - 1):
+            col_origin[tail_base + b_off] = b_off
+        for a_off in range(w - 1):
+            for b_off in range(a_off + 1):
+                self._place(
+                    band, provenance, row_origin,
+                    tail_base + a_off, tail_base + b_off,
+                    tail_block[a_off, b_off],
+                    (a_off, b_off),
+                    origin_axis=0,
+                )
+        return OperandBand(
+            band=band, provenance=provenance,
+            row_origin=row_origin, col_origin=col_origin,
+        )
+
+    def _place(
+        self,
+        band: BandMatrix,
+        provenance: Dict[Tuple[int, int], Tuple[int, int]],
+        origin_map: np.ndarray,
+        i: int,
+        j: int,
+        value: float,
+        origin: Tuple[int, int],
+        origin_axis: int = 1,
+    ) -> None:
+        """Store one band element, its provenance and its row/column origin.
+
+        ``origin_axis`` selects which coordinate of ``origin`` indexes the
+        ``origin_map``: the column origin for ``A~`` (axis 1, keyed by band
+        column) and the row origin for ``B~`` (axis 0, keyed by band row).
+        """
+        if i >= band.rows or j >= band.cols:
+            raise TransformError(f"band position ({i}, {j}) outside the operand")
+        position = (i, j)
+        if position in provenance:
+            raise TransformError(
+                f"band position {position} assigned twice "
+                f"({provenance[position]} and {origin})"
+            )
+        band.set(i, j, value)
+        provenance[position] = origin
+        key = j if origin_axis == 1 else i
+        expected = origin[origin_axis]
+        if origin_map[key] == -1:
+            origin_map[key] = expected
+        elif origin_map[key] != expected:
+            raise TransformError(
+                f"band index {key} maps to two different original indices "
+                f"({origin_map[key]} and {expected}); the DBT conditions are violated"
+            )
+
+    # -- audits ----------------------------------------------------------------------
+    def inner_origins_consistent(self) -> bool:
+        """Column origins of ``A~`` equal row origins of ``B~`` everywhere.
+
+        This is the property that makes the band product meaningful: band
+        index ``J`` pairs column ``beta`` of ``A`` with row ``beta`` of
+        ``B`` for one and the same ``beta``.
+        """
+        return bool(
+            np.array_equal(self._a_band.col_origin, self._b_band.row_origin)
+        )
+
+    def verify_product_coverage(self) -> Tuple[int, int]:
+        """Check that the band product computes every padded product once.
+
+        Returns ``(covered, duplicated)`` where ``covered`` is the number of
+        distinct ``(alpha, beta, gamma)`` products of the padded problem
+        found in the band product (it must equal
+        ``n_bar * p_bar * m_bar * w**3``) and ``duplicated`` counts the
+        products computed twice.  The only duplicates allowed are those of
+        the tail corner block (the ``U' * L'`` overlap), which the recovery
+        discards; anything else raises
+        :class:`~repro.errors.TransformError`.
+        """
+        w = self._w
+        a_band = self._a_band.band
+        b_band = self._b_band.band
+        a_prov = self._a_band.provenance
+        b_prov = self._b_band.provenance
+        tail_start = self.full_block_count * w
+
+        seen: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        duplicated = 0
+        for (i, k), (alpha, beta_a) in a_prov.items():
+            for j in range(max(0, k - b_band.lower), min(b_band.cols, k + b_band.upper + 1)):
+                if (k, j) not in b_prov:
+                    continue
+                beta_b, gamma = b_prov[(k, j)]
+                if beta_a != beta_b:
+                    raise TransformError(
+                        f"band index {k} pairs A column {beta_a} with B row {beta_b}"
+                    )
+                product = (alpha, beta_a, gamma)
+                if product in seen:
+                    duplicated += 1
+                    if not (i >= tail_start and j >= tail_start) and not (
+                        seen[product][0] >= tail_start and seen[product][1] >= tail_start
+                    ):
+                        raise TransformError(
+                            f"product {product} computed twice outside the tail corner "
+                            f"(positions {seen[product]} and {(i, j)})"
+                        )
+                else:
+                    seen[product] = (i, j)
+
+        expected = self._n_bar * self._p_bar * self._m_bar * w ** 3
+        if len(seen) != expected:
+            raise TransformError(
+                f"the band product covers {len(seen)} products, expected {expected}"
+            )
+        return len(seen), duplicated

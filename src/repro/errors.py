@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems (bad shapes, bad
+array sizes) from simulation problems (schedule violations, feedback
+underruns).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An operand has a shape incompatible with the requested operation."""
+
+
+class BandwidthError(ReproError, ValueError):
+    """A band matrix was built or used with an invalid bandwidth."""
+
+
+class ArraySizeError(ReproError, ValueError):
+    """The systolic array size ``w`` is invalid for the requested problem."""
+
+
+class TransformError(ReproError):
+    """A DBT transformation could not be constructed or is inconsistent."""
+
+
+class ScheduleError(ReproError):
+    """A systolic data-flow schedule violates a structural constraint.
+
+    Raised, for example, when two values are scheduled into the same input
+    port on the same cycle, or when a feedback value is required before the
+    array has produced it.
+    """
+
+
+class FeedbackError(ScheduleError):
+    """A feedback path was used before its source value was available."""
+
+
+class SimulationError(ReproError):
+    """The cycle-accurate simulation reached an inconsistent state."""
+
+
+class RecoveryError(ReproError):
+    """Result recovery from the array output band failed a consistency check."""

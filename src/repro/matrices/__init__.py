@@ -1,0 +1,61 @@
+"""Block, band and dense matrix infrastructure used by the DBT transformations."""
+
+from .banded import BandMatrix
+from .blocks import (
+    BlockGrid,
+    diagonal_part,
+    merge_triangles,
+    merge_udl,
+    split_udl,
+    strict_lower_triangle,
+    strict_upper_triangle,
+    triangular_split,
+    upper_triangle,
+)
+from .dense import (
+    MatMulProblem,
+    MatVecProblem,
+    as_matrix,
+    as_vector,
+    random_matmul_problem,
+    random_matrix,
+    random_matvec_problem,
+    random_vector,
+)
+from .padding import (
+    block_count,
+    crop_matrix,
+    crop_vector,
+    pad_matrix,
+    pad_vector,
+    padded_size,
+    validate_array_size,
+)
+
+__all__ = [
+    "BandMatrix",
+    "BlockGrid",
+    "MatMulProblem",
+    "MatVecProblem",
+    "as_matrix",
+    "as_vector",
+    "block_count",
+    "crop_matrix",
+    "crop_vector",
+    "diagonal_part",
+    "merge_triangles",
+    "merge_udl",
+    "pad_matrix",
+    "pad_vector",
+    "padded_size",
+    "random_matmul_problem",
+    "random_matrix",
+    "random_matvec_problem",
+    "random_vector",
+    "split_udl",
+    "strict_lower_triangle",
+    "strict_upper_triangle",
+    "triangular_split",
+    "upper_triangle",
+    "validate_array_size",
+]

@@ -1,0 +1,262 @@
+"""Block-level views of dense matrices and triangular block splitting.
+
+The DBT transformations operate on a dense matrix through a grid of
+``w x w`` blocks (the paper's ``A_ij`` submatrices).  Each block is further
+split into an *upper* triangular part ``U_ij`` (including the main
+diagonal, as the paper assumes without loss of generality) and a *strictly
+lower* triangular part ``L_ij``.  This module provides:
+
+* :class:`BlockGrid` — an indexable grid of ``w x w`` blocks over a padded
+  dense matrix;
+* :func:`triangular_split` — the ``A_ij -> (U_ij, L_ij)`` decomposition;
+* :func:`split_udl` — the three-way ``U / D / L`` decomposition used for
+  the matrix-matrix result blocks of Fig. 4 and the appendix;
+* small assembly helpers used when rebuilding dense data from triangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from .padding import block_count, pad_matrix, validate_array_size
+
+__all__ = [
+    "BlockGrid",
+    "triangular_split",
+    "merge_triangles",
+    "split_udl",
+    "merge_udl",
+    "upper_triangle",
+    "strict_lower_triangle",
+    "strict_upper_triangle",
+    "diagonal_part",
+]
+
+
+def upper_triangle(block: np.ndarray) -> np.ndarray:
+    """Upper triangular part of ``block`` including the main diagonal."""
+    block = _as_square_block(block)
+    return np.triu(block)
+
+
+def strict_lower_triangle(block: np.ndarray) -> np.ndarray:
+    """Strictly lower triangular part of ``block`` (diagonal excluded)."""
+    block = _as_square_block(block)
+    return np.tril(block, k=-1)
+
+
+def strict_upper_triangle(block: np.ndarray) -> np.ndarray:
+    """Strictly upper triangular part of ``block`` (diagonal excluded)."""
+    block = _as_square_block(block)
+    return np.triu(block, k=1)
+
+
+def diagonal_part(block: np.ndarray) -> np.ndarray:
+    """Diagonal part of ``block`` as a full ``w x w`` matrix."""
+    block = _as_square_block(block)
+    return np.diag(np.diag(block))
+
+
+def triangular_split(block: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a ``w x w`` block into ``(U, L)``.
+
+    ``U`` is the upper triangle including the main diagonal and ``L`` is
+    the strictly lower triangle, so that ``U + L == block`` exactly.  This
+    is the decomposition of Section 2, point b of the paper (the main
+    diagonal is assigned to ``U``).
+    """
+    block = _as_square_block(block)
+    return np.triu(block), np.tril(block, k=-1)
+
+
+def merge_triangles(upper: np.ndarray, lower: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`triangular_split`: rebuild the block ``U + L``.
+
+    The inputs are validated to actually be an (inclusive) upper triangle
+    and a strict lower triangle so that silent double counting of the
+    diagonal cannot happen.
+    """
+    upper = _as_square_block(upper)
+    lower = _as_square_block(lower)
+    if upper.shape != lower.shape:
+        raise ShapeError(
+            f"triangle shapes differ: {upper.shape} vs {lower.shape}"
+        )
+    if not np.array_equal(upper, np.triu(upper)):
+        raise ShapeError("merge_triangles: first operand is not upper triangular")
+    if not np.array_equal(lower, np.tril(lower, k=-1)):
+        raise ShapeError(
+            "merge_triangles: second operand is not strictly lower triangular"
+        )
+    return upper + lower
+
+
+def split_udl(block: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a ``w x w`` block into ``(U, D, L)``.
+
+    ``U`` is the strictly upper triangle, ``D`` the diagonal and ``L`` the
+    strictly lower triangle; ``U + D + L == block``.  This three-way split
+    is the one used for the matrix-matrix result blocks (Fig. 4 and the
+    appendix), where each square block of the result band is divided into
+    upper, diagonal and lower pieces.
+    """
+    block = _as_square_block(block)
+    return np.triu(block, k=1), np.diag(np.diag(block)), np.tril(block, k=-1)
+
+
+def merge_udl(upper: np.ndarray, diag: np.ndarray, lower: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_udl`, with structural validation."""
+    upper = _as_square_block(upper)
+    diag = _as_square_block(diag)
+    lower = _as_square_block(lower)
+    if not (upper.shape == diag.shape == lower.shape):
+        raise ShapeError("merge_udl: operand shapes differ")
+    if not np.array_equal(upper, np.triu(upper, k=1)):
+        raise ShapeError("merge_udl: U operand is not strictly upper triangular")
+    if not np.array_equal(diag, np.diag(np.diag(diag))):
+        raise ShapeError("merge_udl: D operand is not diagonal")
+    if not np.array_equal(lower, np.tril(lower, k=-1)):
+        raise ShapeError("merge_udl: L operand is not strictly lower triangular")
+    return upper + diag + lower
+
+
+def _as_square_block(block: np.ndarray) -> np.ndarray:
+    block = np.asarray(block, dtype=float)
+    if block.ndim != 2 or block.shape[0] != block.shape[1]:
+        raise ShapeError(f"expected a square block, got shape {block.shape}")
+    return block
+
+
+@dataclass(frozen=True)
+class BlockIndex:
+    """Index of a ``w x w`` block inside a :class:`BlockGrid`."""
+
+    row: int
+    col: int
+
+
+class BlockGrid:
+    """Grid view of a dense matrix as ``w x w`` blocks.
+
+    The underlying matrix is zero-padded (a copy; the original is left
+    untouched) so that both dimensions are exact multiples of ``w``.  The
+    grid exposes the paper's notation:
+
+    * ``grid.block_rows`` is ``n_bar = ceil(n / w)``
+    * ``grid.block_cols`` is ``m_bar = ceil(m / w)``
+    * ``grid.block(i, j)`` is the submatrix ``A_ij``
+    * ``grid.upper(i, j)`` / ``grid.lower(i, j)`` are ``U_ij`` / ``L_ij``
+    """
+
+    def __init__(self, matrix: np.ndarray, w: int):
+        self._w = validate_array_size(w)
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ShapeError(f"BlockGrid expects a 2-D array, got ndim={matrix.ndim}")
+        self._original_shape = matrix.shape
+        self._padded = pad_matrix(matrix, self._w)
+        self._block_rows = block_count(matrix.shape[0], self._w)
+        self._block_cols = block_count(matrix.shape[1], self._w)
+
+    # -- basic geometry ----------------------------------------------------
+    @property
+    def w(self) -> int:
+        """Block (and systolic array) size."""
+        return self._w
+
+    @property
+    def original_shape(self) -> Tuple[int, int]:
+        """Shape of the matrix the grid was built from, before padding."""
+        return self._original_shape
+
+    @property
+    def padded(self) -> np.ndarray:
+        """The zero-padded dense matrix backing the grid (a copy)."""
+        return self._padded.copy()
+
+    @property
+    def padded_shape(self) -> Tuple[int, int]:
+        return self._padded.shape
+
+    @property
+    def block_rows(self) -> int:
+        """Number of block rows (the paper's ``n_bar``)."""
+        return self._block_rows
+
+    @property
+    def block_cols(self) -> int:
+        """Number of block columns (the paper's ``m_bar``)."""
+        return self._block_cols
+
+    @property
+    def block_shape(self) -> Tuple[int, int]:
+        return (self._block_rows, self._block_cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockGrid(shape={self._original_shape}, w={self._w}, "
+            f"blocks={self.block_shape})"
+        )
+
+    # -- block access ------------------------------------------------------
+    def _check_index(self, i: int, j: int) -> None:
+        if not (0 <= i < self._block_rows and 0 <= j < self._block_cols):
+            raise ShapeError(
+                f"block index ({i}, {j}) out of range for grid {self.block_shape}"
+            )
+
+    def block(self, i: int, j: int) -> np.ndarray:
+        """The ``w x w`` submatrix ``A_ij`` (a copy)."""
+        self._check_index(i, j)
+        w = self._w
+        return self._padded[i * w : (i + 1) * w, j * w : (j + 1) * w].copy()
+
+    def upper(self, i: int, j: int) -> np.ndarray:
+        """``U_ij``: upper triangle (with diagonal) of block ``(i, j)``."""
+        return upper_triangle(self.block(i, j))
+
+    def lower(self, i: int, j: int) -> np.ndarray:
+        """``L_ij``: strictly lower triangle of block ``(i, j)``."""
+        return strict_lower_triangle(self.block(i, j))
+
+    def udl(self, i: int, j: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Three-way ``(U, D, L)`` split of block ``(i, j)``."""
+        return split_udl(self.block(i, j))
+
+    def iter_blocks(self) -> Iterator[Tuple[BlockIndex, np.ndarray]]:
+        """Iterate over all blocks in row-major order."""
+        for i in range(self._block_rows):
+            for j in range(self._block_cols):
+                yield BlockIndex(i, j), self.block(i, j)
+
+    # -- reconstruction ----------------------------------------------------
+    @staticmethod
+    def assemble(blocks: np.ndarray) -> np.ndarray:
+        """Assemble a dense matrix from a 4-D array of blocks.
+
+        ``blocks`` must have shape ``(block_rows, block_cols, w, w)``.
+        """
+        blocks = np.asarray(blocks, dtype=float)
+        if blocks.ndim != 4 or blocks.shape[2] != blocks.shape[3]:
+            raise ShapeError(
+                f"assemble expects shape (bi, bj, w, w), got {blocks.shape}"
+            )
+        bi, bj, w, _ = blocks.shape
+        out = np.zeros((bi * w, bj * w), dtype=float)
+        for i in range(bi):
+            for j in range(bj):
+                out[i * w : (i + 1) * w, j * w : (j + 1) * w] = blocks[i, j]
+        return out
+
+    def to_block_array(self) -> np.ndarray:
+        """Return all blocks as a ``(block_rows, block_cols, w, w)`` array."""
+        w = self._w
+        out = np.zeros((self._block_rows, self._block_cols, w, w), dtype=float)
+        for i in range(self._block_rows):
+            for j in range(self._block_cols):
+                out[i, j] = self.block(i, j)
+        return out

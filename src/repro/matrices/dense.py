@@ -1,0 +1,120 @@
+"""Dense operand validation and reproducible problem generators.
+
+The tests, benchmarks and examples all need dense matrices and vectors of
+arbitrary, *not necessarily array-size aligned*, dimensions.  Keeping the
+generators in the library (instead of scattering ``np.random`` calls
+around) makes every experiment reproducible from an explicit seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "as_matrix",
+    "as_vector",
+    "random_matrix",
+    "random_vector",
+    "MatVecProblem",
+    "MatMulProblem",
+    "random_matvec_problem",
+    "random_matmul_problem",
+]
+
+
+def as_matrix(value: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate and convert ``value`` to a 2-D float array."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    if arr.shape[0] < 1 or arr.shape[1] < 1:
+        raise ShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+    return arr
+
+
+def as_vector(value: np.ndarray, name: str = "vector") -> np.ndarray:
+    """Validate and convert ``value`` to a 1-D float array."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got ndim={arr.ndim}")
+    if arr.shape[0] < 1:
+        raise ShapeError(f"{name} must be non-empty")
+    return arr
+
+
+def random_matrix(
+    rows: int, cols: int, *, seed: Optional[int] = None, low: float = -1.0, high: float = 1.0
+) -> np.ndarray:
+    """Uniform random dense matrix with a reproducible seed."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=(rows, cols))
+
+
+def random_vector(
+    length: int, *, seed: Optional[int] = None, low: float = -1.0, high: float = 1.0
+) -> np.ndarray:
+    """Uniform random dense vector with a reproducible seed."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=length)
+
+
+@dataclass(frozen=True)
+class MatVecProblem:
+    """A dense ``y = A x + b`` problem instance."""
+
+    matrix: np.ndarray
+    x: np.ndarray
+    b: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.matrix.shape
+
+    def reference(self) -> np.ndarray:
+        """Dense NumPy reference result."""
+        return self.matrix @ self.x + self.b
+
+
+@dataclass(frozen=True)
+class MatMulProblem:
+    """A dense ``C = A B + E`` problem instance."""
+
+    a: np.ndarray
+    b: np.ndarray
+    e: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """``(n, p, m)`` for ``A`` of shape ``(n, p)`` and ``B`` of ``(p, m)``."""
+        return (self.a.shape[0], self.a.shape[1], self.b.shape[1])
+
+    def reference(self) -> np.ndarray:
+        """Dense NumPy reference result."""
+        return self.a @ self.b + self.e
+
+
+def random_matvec_problem(
+    rows: int, cols: int, *, seed: Optional[int] = None, with_bias: bool = True
+) -> MatVecProblem:
+    """Generate a reproducible dense matrix-vector problem."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(-1.0, 1.0, size=(rows, cols))
+    x = rng.uniform(-1.0, 1.0, size=cols)
+    b = rng.uniform(-1.0, 1.0, size=rows) if with_bias else np.zeros(rows)
+    return MatVecProblem(matrix=matrix, x=x, b=b)
+
+
+def random_matmul_problem(
+    n: int, p: int, m: int, *, seed: Optional[int] = None, with_addend: bool = True
+) -> MatMulProblem:
+    """Generate a reproducible dense matrix-matrix problem."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, size=(n, p))
+    b = rng.uniform(-1.0, 1.0, size=(p, m))
+    e = rng.uniform(-1.0, 1.0, size=(n, m)) if with_addend else np.zeros((n, m))
+    return MatMulProblem(a=a, b=b, e=e)

@@ -1,0 +1,114 @@
+"""Padding dense operands to block multiples of the array size.
+
+The DBT transformations partition a dense matrix into ``w x w`` blocks,
+where ``w`` is the systolic array size.  When the matrix dimensions are not
+integer multiples of ``w`` the paper extends the matrix "with zero-valued
+elements in rows and/or columns" (Section 2, point a).  This module holds
+the padding / cropping helpers used throughout the package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ArraySizeError, ShapeError
+
+__all__ = [
+    "block_count",
+    "padded_size",
+    "pad_matrix",
+    "pad_vector",
+    "crop_matrix",
+    "crop_vector",
+    "validate_array_size",
+]
+
+
+def validate_array_size(w: int) -> int:
+    """Validate a systolic array size and return it as a plain ``int``.
+
+    The arrays considered in the paper have at least two processing
+    elements for the linear case (a bandwidth-1 "band" degenerates to a
+    single diagonal and carries no lower triangular blocks), but ``w = 1``
+    is still a well defined, if trivial, configuration, so only
+    non-positive and non-integral values are rejected.
+    """
+    if not isinstance(w, (int, np.integer)):
+        raise ArraySizeError(f"array size must be an integer, got {type(w).__name__}")
+    if w < 1:
+        raise ArraySizeError(f"array size must be >= 1, got {w}")
+    return int(w)
+
+
+def block_count(dimension: int, w: int) -> int:
+    """Number of ``w``-sized blocks covering ``dimension`` (``ceil(dim / w)``).
+
+    This is the paper's overbar notation: ``n_bar = ceil(n / w)``.
+    """
+    w = validate_array_size(w)
+    if dimension < 1:
+        raise ShapeError(f"dimension must be >= 1, got {dimension}")
+    return -(-int(dimension) // w)
+
+
+def padded_size(dimension: int, w: int) -> int:
+    """Smallest multiple of ``w`` that is >= ``dimension``."""
+    return block_count(dimension, w) * validate_array_size(w)
+
+
+def pad_matrix(matrix: np.ndarray, w: int) -> np.ndarray:
+    """Zero-pad ``matrix`` so both dimensions are multiples of ``w``.
+
+    Returns a new array; the input is never modified.  One- and
+    two-dimensional inputs are accepted; vectors are promoted to column
+    semantics by :func:`pad_vector` instead.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ShapeError(f"pad_matrix expects a 2-D array, got ndim={matrix.ndim}")
+    rows, cols = matrix.shape
+    padded_rows = padded_size(rows, w)
+    padded_cols = padded_size(cols, w)
+    if (padded_rows, padded_cols) == (rows, cols):
+        return matrix.copy()
+    out = np.zeros((padded_rows, padded_cols), dtype=float)
+    out[:rows, :cols] = matrix
+    return out
+
+
+def pad_vector(vector: np.ndarray, w: int) -> np.ndarray:
+    """Zero-pad a vector so its length is a multiple of ``w``."""
+    vector = np.asarray(vector, dtype=float)
+    if vector.ndim != 1:
+        raise ShapeError(f"pad_vector expects a 1-D array, got ndim={vector.ndim}")
+    length = vector.shape[0]
+    target = padded_size(length, w)
+    if target == length:
+        return vector.copy()
+    out = np.zeros(target, dtype=float)
+    out[:length] = vector
+    return out
+
+
+def crop_matrix(matrix: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Crop a padded matrix back to its original ``rows x cols`` shape."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ShapeError(f"crop_matrix expects a 2-D array, got ndim={matrix.ndim}")
+    if matrix.shape[0] < rows or matrix.shape[1] < cols:
+        raise ShapeError(
+            f"cannot crop array of shape {matrix.shape} to ({rows}, {cols})"
+        )
+    return matrix[:rows, :cols].copy()
+
+
+def crop_vector(vector: np.ndarray, length: int) -> np.ndarray:
+    """Crop a padded vector back to its original ``length``."""
+    vector = np.asarray(vector, dtype=float)
+    if vector.ndim != 1:
+        raise ShapeError(f"crop_vector expects a 1-D array, got ndim={vector.ndim}")
+    if vector.shape[0] < length:
+        raise ShapeError(
+            f"cannot crop vector of length {vector.shape[0]} to {length}"
+        )
+    return vector[:length].copy()

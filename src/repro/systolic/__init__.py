@@ -1,0 +1,40 @@
+"""Cycle-accurate simulators of H.T. Kung's contraflow systolic arrays."""
+
+from .cell import CellState, InnerProductStepCell, MacEvent
+from .feedback import (
+    ExternalSource,
+    FeedbackSource,
+    ShiftRegisterFeedback,
+    SpiralFeedbackTopology,
+    SpiralLoop,
+)
+from .hex_array import CTokenPlan, HexFeedbackSource, HexRunResult, HexagonalArray
+from .linear_array import LinearContraflowArray, LinearProblem, LinearRunResult
+from .metrics import UtilizationReport, utilization
+from .stream import DataStream, ScheduledValue
+from .trace import DataFlowTrace, default_tag_formatter, render_dataflow_table
+
+__all__ = [
+    "CTokenPlan",
+    "CellState",
+    "DataFlowTrace",
+    "DataStream",
+    "ExternalSource",
+    "FeedbackSource",
+    "HexFeedbackSource",
+    "HexRunResult",
+    "HexagonalArray",
+    "InnerProductStepCell",
+    "LinearContraflowArray",
+    "LinearProblem",
+    "LinearRunResult",
+    "MacEvent",
+    "ScheduledValue",
+    "ShiftRegisterFeedback",
+    "SpiralFeedbackTopology",
+    "SpiralLoop",
+    "UtilizationReport",
+    "default_tag_formatter",
+    "render_dataflow_table",
+    "utilization",
+]

@@ -1,0 +1,222 @@
+"""Feedback hardware: shift registers and the spiral feedback topology.
+
+The key architectural device of the paper is that *partial results never
+leave the array system*: they are routed from the array output back to an
+array input through a small amount of memory.
+
+* For the linear (matrix-vector) array, DBT-by-rows needs a feedback delay
+  exactly equal to the array size ``w``, implementable with ``w``
+  registers (Section 2).  :class:`ShiftRegisterFeedback` is that register
+  chain.
+* For the hexagonal (matrix-matrix) array, the output diagonals are fed
+  back to the input diagonals through the *spiral* interconnection of
+  Fig. 5 (S.Y. Kung's "spiral systolic array"): the main diagonal feeds
+  itself and the sub-diagonals are fed back in pairs chosen so that every
+  feedback loop crosses exactly ``w`` processing elements.
+  :class:`SpiralFeedbackTopology` captures that wiring and the memory
+  element counts the paper states for it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..errors import ArraySizeError, FeedbackError
+from ..matrices.padding import validate_array_size
+
+__all__ = [
+    "ExternalSource",
+    "FeedbackSource",
+    "YSource",
+    "ShiftRegisterFeedback",
+    "SpiralLoop",
+    "SpiralFeedbackTopology",
+]
+
+
+@dataclass(frozen=True)
+class ExternalSource:
+    """Initial ``y`` value supplied from outside the array (a ``b`` element)."""
+
+    value: float
+    tag: Optional[tuple] = None
+
+
+@dataclass(frozen=True)
+class FeedbackSource:
+    """Initial ``y`` value taken from the feedback register chain."""
+
+    tag: Optional[tuple] = None
+
+
+#: A row's initial-value source: either external data or the feedback path.
+YSource = object  # union of ExternalSource | FeedbackSource, kept duck-typed
+
+
+class ShiftRegisterFeedback:
+    """A chain of ``size`` registers clocked once per array cycle.
+
+    A value pushed at one clock boundary emerges exactly ``size`` boundaries
+    later, which is the delay DBT-by-rows requires between a partial result
+    leaving the array and re-entering it as the initial value of the next
+    block row.  Bubbles (``None``) travel through the chain like any other
+    item, so the register is clocked unconditionally every cycle exactly as
+    the hardware would be.
+    """
+
+    def __init__(self, size: int):
+        self._size = validate_array_size(size)
+        self._registers: Deque[Optional[Tuple[float, Optional[tuple]]]] = deque(
+            [None] * self._size, maxlen=self._size
+        )
+        self._pushes = 0
+        self._occupied_peak = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def pushes(self) -> int:
+        """Number of clock boundaries the register chain has seen."""
+        return self._pushes
+
+    @property
+    def occupied_peak(self) -> int:
+        """Maximum number of simultaneously occupied registers observed."""
+        return self._occupied_peak
+
+    def shift(
+        self, incoming: Optional[Tuple[float, Optional[tuple]]]
+    ) -> Optional[Tuple[float, Optional[tuple]]]:
+        """Clock the chain once: push ``incoming``, return the value falling out."""
+        self._pushes += 1
+        outgoing = self._registers[0]
+        self._registers.append(incoming)
+        occupied = sum(1 for item in self._registers if item is not None)
+        self._occupied_peak = max(self._occupied_peak, occupied)
+        return outgoing
+
+    def snapshot(self) -> List[Optional[Tuple[float, Optional[tuple]]]]:
+        """Current register contents, oldest first (for tests and traces)."""
+        return list(self._registers)
+
+
+@dataclass(frozen=True)
+class SpiralLoop:
+    """One feedback loop of the spiral topology.
+
+    ``output_offset`` is the C-band diagonal whose values leave the array
+    and are fed back into the diagonal ``input_offset``; ``cells`` is the
+    number of processing elements the loop traverses inside the array.
+    A loop with ``output_offset == input_offset == 0`` is the
+    auto-feedbacked main diagonal.
+    """
+
+    output_offset: int
+    input_offset: int
+    cells: int
+    registers: int
+
+    @property
+    def is_main_diagonal(self) -> bool:
+        return self.output_offset == 0 and self.input_offset == 0
+
+
+class SpiralFeedbackTopology:
+    """Spiral feedback wiring of the ``w x w`` hexagonal array (Fig. 5).
+
+    The result band of ``C = A * B`` for two bandwidth-``w`` operands has
+    ``2w - 1`` diagonals, offsets ``-(w-1) .. (w-1)``.  Each diagonal of
+    offset ``d`` crosses ``w - |d|`` cells of the hexagonal array.  The
+    spiral feedback closes each diagonal channel onto another one so that:
+
+    * the main diagonal (``d = 0``, ``w`` cells) feeds itself, and
+    * the super-diagonal ``+d`` is paired with the sub-diagonal ``d - w``
+      (equivalently ``-(w - d)``), giving a combined loop of
+      ``(w - d) + (w - (w - d)) = w`` cells,
+
+    which is exactly the paper's statement that "the number of processing
+    elements in the loop equals w".  The register counts follow Section 3:
+    ``2w`` memory elements for the main diagonal loop and ``w`` for each
+    sub-diagonal pair when the feedback delay is kept constant, plus
+    ``3 w (w - 1) / 2`` additional elements to absorb the irregular delays.
+    """
+
+    def __init__(self, w: int):
+        self._w = validate_array_size(w)
+        if self._w < 1:
+            raise ArraySizeError(f"spiral topology needs w >= 1, got {w}")
+        self._loops = self._build_loops()
+
+    def _build_loops(self) -> List[SpiralLoop]:
+        w = self._w
+        loops = [SpiralLoop(output_offset=0, input_offset=0, cells=w, registers=2 * w)]
+        for d in range(1, w):
+            paired = d - w  # the sub-diagonal -(w - d)
+            cells = (w - d) + (w - abs(paired))
+            loops.append(
+                SpiralLoop(
+                    output_offset=d,
+                    input_offset=paired,
+                    cells=cells,
+                    registers=w,
+                )
+            )
+        return loops
+
+    @property
+    def w(self) -> int:
+        return self._w
+
+    @property
+    def loops(self) -> Sequence[SpiralLoop]:
+        return tuple(self._loops)
+
+    @property
+    def loop_count(self) -> int:
+        return len(self._loops)
+
+    def loop_for_output(self, offset: int) -> SpiralLoop:
+        """The loop whose feedback source is the output diagonal ``offset``."""
+        for loop in self._loops:
+            if loop.output_offset == offset:
+                return loop
+        raise FeedbackError(
+            f"no spiral loop feeds back output diagonal {offset} for w={self._w}"
+        )
+
+    def regular_register_count(self) -> int:
+        """Registers needed for constant-delay feedback: ``2w + (w-1) w``."""
+        return sum(loop.registers for loop in self._loops)
+
+    def irregular_register_count(self) -> int:
+        """Extra memory for the irregular feedback delays: ``3 w (w-1) / 2``."""
+        return 3 * self._w * (self._w - 1) // 2
+
+    def total_register_count(self) -> int:
+        return self.regular_register_count() + self.irregular_register_count()
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """Feedback edges as ``(output_diagonal, input_diagonal)`` pairs."""
+        return [(loop.output_offset, loop.input_offset) for loop in self._loops]
+
+    def describe(self) -> str:
+        """Multi-line textual rendering of the topology (used for Fig. 5)."""
+        lines = [f"Spiral feedback topology for a {self._w}x{self._w} hexagonal array"]
+        for loop in self._loops:
+            kind = "auto-feedback" if loop.is_main_diagonal else "paired"
+            lines.append(
+                f"  output diagonal {loop.output_offset:+d} -> input diagonal "
+                f"{loop.input_offset:+d}  ({kind}, {loop.cells} PEs in loop, "
+                f"{loop.registers} registers)"
+            )
+        lines.append(
+            f"  regular feedback registers: {self.regular_register_count()}"
+        )
+        lines.append(
+            f"  irregular feedback registers: {self.irregular_register_count()}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,392 @@
+"""Register-level simulation of Kung's linear contraflow systolic array.
+
+This is the band matrix-vector multiplication array of Kung and Leiserson
+(Mead & Conway, Section 8.3) that the paper targets in Section 2: a chain
+of ``w`` inner-product-step cells where
+
+* the accumulating ``y`` values enter at cell 0 and march toward cell
+  ``w-1``, one cell per cycle,
+* the ``x`` values enter at cell ``w-1`` and march toward cell 0
+  (contraflow), and
+* the band matrix coefficients drop into the cells from above, one band
+  diagonal per cell.
+
+Because ``x`` and ``y`` travel in opposite directions, consecutive elements
+of each stream are separated by one idle cycle, which is why the raw array
+utilization saturates at 1/2 and why the paper's overlapping trick
+(interleaving two independent transformed sub-problems on the odd/even
+cycles) can reach 1.
+
+The simulation is register-level: each cell latches its operands at the
+start of a cycle, performs at most one multiply-accumulate, and forwards
+its operands to its neighbours for the next cycle.  Partial results can be
+routed from the ``y`` output port back to the ``y`` input port through a
+:class:`~repro.systolic.feedback.ShiftRegisterFeedback` of exactly ``w``
+registers, which is the mechanism DBT-by-rows relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ArraySizeError, FeedbackError, ScheduleError, ShapeError, SimulationError
+from ..matrices.banded import BandMatrix
+from ..matrices.padding import validate_array_size
+from .cell import InnerProductStepCell
+from .feedback import ExternalSource, FeedbackSource, ShiftRegisterFeedback
+from .metrics import UtilizationReport
+from .stream import DataStream
+from .trace import DataFlowTrace
+
+__all__ = ["LinearProblem", "LinearRunResult", "LinearContraflowArray"]
+
+
+@dataclass
+class LinearProblem:
+    """One band matrix-vector problem ready to be streamed into the array.
+
+    Parameters
+    ----------
+    band:
+        The band matrix (for a DBT-transformed problem, the matrix the
+        paper calls ``A-tilde``).
+    x:
+        Input vector of length ``band.cols``.
+    y_sources:
+        One entry per band row: an
+        :class:`~repro.systolic.feedback.ExternalSource` carrying the
+        initial value (a ``b`` element), or a
+        :class:`~repro.systolic.feedback.FeedbackSource` when the row's
+        initial value is the partial result fed back from the output port.
+    x_tags / output_tags:
+        Optional labels attached to the ``x`` inputs and ``y`` outputs;
+        they flow into the data-flow trace and the result recovery code.
+    useful_operations:
+        Operation count of the *original* (unpadded) problem, used for the
+        effective-utilization metric.  Defaults to the number of in-band
+        coefficients.
+    """
+
+    band: BandMatrix
+    x: np.ndarray
+    y_sources: Sequence[object]
+    x_tags: Optional[Sequence[Optional[tuple]]] = None
+    output_tags: Optional[Sequence[Optional[tuple]]] = None
+    useful_operations: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        if self.x.shape != (self.band.cols,):
+            raise ShapeError(
+                f"x must have length {self.band.cols}, got {self.x.shape}"
+            )
+        if len(self.y_sources) != self.band.rows:
+            raise ShapeError(
+                f"y_sources must have {self.band.rows} entries, got {len(self.y_sources)}"
+            )
+        if self.x_tags is not None and len(self.x_tags) != self.band.cols:
+            raise ShapeError("x_tags length must match band.cols")
+        if self.output_tags is not None and len(self.output_tags) != self.band.rows:
+            raise ShapeError("output_tags length must match band.rows")
+
+
+@dataclass
+class LinearRunResult:
+    """Everything measured during one execution of the linear array."""
+
+    size: int
+    y: np.ndarray
+    output_stream: DataStream
+    report: UtilizationReport
+    total_cycles: int
+    first_input_cycle: int
+    last_output_cycle: int
+    y_per_problem: List[np.ndarray] = field(default_factory=list)
+    feedback_events: List[Tuple[int, int, int]] = field(default_factory=list)
+    feedback_register_peak: int = 0
+    trace: Optional[DataFlowTrace] = None
+    cell_mac_counts: List[int] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        return self.report.utilization
+
+    @property
+    def effective_utilization(self) -> float:
+        return self.report.effective_utilization
+
+    def feedback_delays(self) -> List[int]:
+        """Observed delay, in cycles, of every feedback value used."""
+        return [pop - push for (_row, push, pop) in self.feedback_events]
+
+
+class LinearContraflowArray:
+    """Cycle-accurate simulator of the ``w``-cell linear contraflow array."""
+
+    def __init__(self, size: int, record_trace: bool = False):
+        self._size = validate_array_size(size)
+        self._record_trace = record_trace
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # -- schedule construction ------------------------------------------------
+    def _injection_offsets(self, band: BandMatrix) -> Tuple[int, int]:
+        """Cycle offsets (alpha, beta) for the ``y`` and ``x`` injections.
+
+        ``y`` for band row ``i`` is injected at cell 0 at cycle
+        ``2 i + alpha``; ``x`` element ``j`` is injected at cell ``w - 1``
+        at cycle ``2 j + beta``.  The offsets are chosen so that row ``i``
+        meets column ``j`` exactly at the cell handling band diagonal
+        ``j - i`` and the earliest injection happens at cycle 0.
+        """
+        w = self._size
+        lower = band.lower
+        alpha = max(0, w - 1 - 2 * lower)
+        beta = max(0, 2 * lower - w + 1)
+        return alpha, beta
+
+    def _build_coefficient_schedule(
+        self, band: BandMatrix, alpha: int, offset: int
+    ) -> Dict[Tuple[int, int], float]:
+        """Map ``(cell, cycle) -> coefficient`` for the band's entries."""
+        schedule: Dict[Tuple[int, int], float] = {}
+        lower = band.lower
+        for diag in band.offsets():
+            cell = diag + lower
+            values = band.diagonal(diag)
+            for along in range(len(values)):
+                i = along if diag >= 0 else along - diag
+                cycle = 2 * i + alpha + cell + offset
+                key = (cell, cycle)
+                if key in schedule:
+                    raise ScheduleError(
+                        f"coefficient collision at cell {cell}, cycle {cycle}"
+                    )
+                schedule[key] = float(values[along])
+        return schedule
+
+    def _validate_problem(self, problem: LinearProblem) -> None:
+        if problem.band.bandwidth != self._size:
+            raise ArraySizeError(
+                f"band of bandwidth {problem.band.bandwidth} cannot be run on an "
+                f"array of {self._size} cells; they must be equal"
+            )
+
+    # -- execution -------------------------------------------------------------
+    def run(self, problem: LinearProblem) -> LinearRunResult:
+        """Run one problem through the array."""
+        return self._run([problem])
+
+    def run_overlapped(self, problems: Sequence[LinearProblem]) -> LinearRunResult:
+        """Run up to two independent problems overlapped on odd/even cycles.
+
+        This implements the paper's overlapping optimization: because the
+        contraflow schedule only occupies alternate cycles, a second
+        problem shifted by one cycle fills the idle slots and the combined
+        utilization can approach 1.
+        """
+        if not 1 <= len(problems) <= 2:
+            raise ScheduleError(
+                f"run_overlapped supports 1 or 2 problems, got {len(problems)}"
+            )
+        return self._run(list(problems))
+
+    def _run(self, problems: List[LinearProblem]) -> LinearRunResult:
+        for problem in problems:
+            self._validate_problem(problem)
+
+        w = self._size
+        coefficient_schedule: Dict[Tuple[int, int], float] = {}
+        x_injections: Dict[int, Tuple[float, Optional[tuple]]] = {}
+        y_injections: Dict[int, Tuple[int, int]] = {}  # cycle -> (problem, row)
+        output_cycles: Dict[int, Tuple[int, int]] = {}  # cycle -> (problem, row)
+        last_compute_cycle = 0
+        total_macs_expected = 0
+        useful_operations = 0
+
+        for index, problem in enumerate(problems):
+            offset = index  # the second problem is delayed by one cycle
+            band = problem.band
+            alpha, beta = self._injection_offsets(band)
+            schedule = self._build_coefficient_schedule(band, alpha, offset)
+            for key, value in schedule.items():
+                if key in coefficient_schedule:
+                    raise ScheduleError(
+                        f"overlapped problems collide at cell/cycle {key}"
+                    )
+                coefficient_schedule[key] = value
+            total_macs_expected += len(schedule)
+            useful_operations += (
+                problem.useful_operations
+                if problem.useful_operations is not None
+                else len(schedule)
+            )
+            for j in range(band.cols):
+                cycle = 2 * j + beta + offset
+                if cycle in x_injections:
+                    raise ScheduleError(
+                        f"x injection collision at cycle {cycle} between problems"
+                    )
+                tag = problem.x_tags[j] if problem.x_tags is not None else ("x", j)
+                x_injections[cycle] = (float(problem.x[j]), tag)
+            for i in range(band.rows):
+                cycle = 2 * i + alpha + offset
+                if cycle in y_injections:
+                    raise ScheduleError(
+                        f"y injection collision at cycle {cycle} between problems"
+                    )
+                y_injections[cycle] = (index, i)
+                output_cycles[cycle + w] = (index, i)
+                last_compute_cycle = max(last_compute_cycle, cycle + w - 1)
+
+        first_input_cycle = 0
+        last_output_cycle = max(output_cycles) if output_cycles else 0
+        # The port value for cycle p is produced during iteration p - 1, so
+        # simulating through last_output_cycle - 1 captures every output.
+        end_cycle = max(0, last_output_cycle - 1)
+
+        cells = [InnerProductStepCell(c) for c in range(w)]
+        feedback = ShiftRegisterFeedback(w)
+        feedback_events: List[Tuple[int, int, int]] = []
+
+        x_in_stream = DataStream("x in")
+        y_in_stream = DataStream("y/b in")
+        y_out_stream = DataStream("y out")
+
+        results = [np.zeros(p.band.rows, dtype=float) for p in problems]
+
+        # Latches: the value held by cell c at the start of the current cycle.
+        y_latch: List[Optional[float]] = [None] * w
+        y_tag_latch: List[Optional[tuple]] = [None] * w
+        x_latch: List[Optional[float]] = [None] * w
+        x_tag_latch: List[Optional[tuple]] = [None] * w
+
+        def inject(cycle: int, fed_back: Optional[Tuple[float, Optional[tuple]]]) -> None:
+            """Load the boundary latches for the start of ``cycle``."""
+            if cycle in x_injections:
+                value, tag = x_injections[cycle]
+                x_latch[w - 1] = value
+                x_tag_latch[w - 1] = tag
+                x_in_stream.schedule(cycle, value, tag)
+            if cycle in y_injections:
+                problem_index, row = y_injections[cycle]
+                source = problems[problem_index].y_sources[row]
+                if isinstance(source, ExternalSource):
+                    y_latch[0] = source.value
+                    y_tag_latch[0] = source.tag
+                    y_in_stream.schedule(cycle, source.value, source.tag)
+                elif isinstance(source, FeedbackSource):
+                    if fed_back is None:
+                        raise FeedbackError(
+                            f"row {row} of problem {problem_index} needs a feedback "
+                            f"value at cycle {cycle}, but the register chain is empty"
+                        )
+                    value, _tag = fed_back
+                    y_latch[0] = value
+                    y_tag_latch[0] = source.tag
+                    y_in_stream.schedule(cycle, value, source.tag)
+                    # The register chain has length w and is clocked every
+                    # cycle, so the value consumed here left the array
+                    # output port exactly w cycles earlier.
+                    feedback_events.append((row, cycle - w, cycle))
+                else:  # pragma: no cover - defensive
+                    raise ScheduleError(f"unknown y source {source!r}")
+
+        # Initial injections for cycle 0 (nothing can have been fed back yet).
+        inject(0, None)
+
+        for cycle in range(0, end_cycle + 1):
+            # 1. Every cell computes with its latched operands.
+            outgoing_y: List[Optional[float]] = [None] * w
+            for c in range(w):
+                cell = cells[c]
+                cell.load(y_latch[c], y_tag_latch[c], x_latch[c], x_tag_latch[c])
+                a_value = coefficient_schedule.get((c, cycle))
+                outgoing_y[c] = cell.step(a_value)
+
+            # 2. The value leaving cell w-1 reaches the output port at cycle+1.
+            port_value = outgoing_y[w - 1]
+            port_tag = y_tag_latch[w - 1]
+            port_cycle = cycle + 1
+            if port_value is not None and port_cycle not in output_cycles:
+                raise SimulationError(
+                    f"a value reached the output port at cycle {port_cycle} but no "
+                    f"band row is scheduled to finish then"
+                )
+            if port_cycle in output_cycles and port_value is not None:
+                problem_index, row = output_cycles[port_cycle]
+                problem = problems[problem_index]
+                results[problem_index][row] = port_value
+                out_tag = (
+                    problem.output_tags[row]
+                    if problem.output_tags is not None
+                    else ("y", row)
+                )
+                y_out_stream.schedule(port_cycle, port_value, out_tag)
+
+            # 3. Clock the feedback register chain with the port value.
+            pushed = (port_value, port_tag) if port_value is not None else None
+            fed_back = feedback.shift(pushed)
+
+            # 4. Shift the latches toward the next cycle.
+            new_y: List[Optional[float]] = [None] * w
+            new_y_tag: List[Optional[tuple]] = [None] * w
+            new_x: List[Optional[float]] = [None] * w
+            new_x_tag: List[Optional[tuple]] = [None] * w
+            for c in range(w - 1):
+                new_y[c + 1] = outgoing_y[c]
+                new_y_tag[c + 1] = y_tag_latch[c]
+            for c in range(1, w):
+                new_x[c - 1] = x_latch[c]
+                new_x_tag[c - 1] = x_tag_latch[c]
+            y_latch, y_tag_latch = new_y, new_y_tag
+            x_latch, x_tag_latch = new_x, new_x_tag
+
+            # 5. Boundary injections for the next cycle.
+            inject(cycle + 1, fed_back)
+
+        mac_total = sum(cell.mac_count for cell in cells)
+        if mac_total != total_macs_expected:
+            raise SimulationError(
+                f"simulation executed {mac_total} MACs but the schedule contains "
+                f"{total_macs_expected} coefficients; the data flow is broken"
+            )
+
+        # The paper counts T from the first input step through the last step
+        # in which a cell computes (the last output is available one cycle
+        # after that computation).
+        total_cycles = last_compute_cycle - first_input_cycle + 1
+        report = UtilizationReport(
+            processing_elements=w,
+            steps=total_cycles,
+            mac_operations=mac_total,
+            useful_operations=useful_operations,
+        )
+
+        trace = None
+        if self._record_trace:
+            trace = DataFlowTrace()
+            trace.add_stream("x in", x_in_stream)
+            trace.add_stream("y out", y_out_stream)
+            trace.add_stream("y/b in", y_in_stream)
+
+        y = results[0] if len(results) == 1 else np.concatenate(results)
+        return LinearRunResult(
+            size=w,
+            y=y,
+            output_stream=y_out_stream,
+            report=report,
+            total_cycles=total_cycles,
+            first_input_cycle=first_input_cycle,
+            last_output_cycle=last_output_cycle,
+            y_per_problem=results,
+            feedback_events=feedback_events,
+            feedback_register_peak=feedback.occupied_peak,
+            trace=trace,
+            cell_mac_counts=[cell.mac_count for cell in cells],
+        )

@@ -1,0 +1,84 @@
+"""Utilization and timing metrics shared by both array simulators.
+
+The paper's quantitative claims are expressed through the processing
+element utilization factor ``eta = N / (A * T)`` where ``N`` is the number
+of operations required by the algorithm, ``A`` the number of processing
+elements and ``T`` the number of steps the array needs (Section 1).  The
+simulators report their measurements through :class:`UtilizationReport`
+objects so that benchmarks can compare measured values against the paper's
+closed forms without re-deriving anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["UtilizationReport", "utilization"]
+
+
+def utilization(operations: int, processing_elements: int, steps: int) -> float:
+    """The paper's utilization factor ``eta = N / (A * T)``."""
+    if processing_elements <= 0:
+        raise ValueError(f"processing_elements must be > 0, got {processing_elements}")
+    if steps <= 0:
+        raise ValueError(f"steps must be > 0, got {steps}")
+    if operations < 0:
+        raise ValueError(f"operations must be >= 0, got {operations}")
+    return operations / (processing_elements * steps)
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Measured activity of one simulated array execution.
+
+    Attributes
+    ----------
+    processing_elements:
+        Number of PEs in the array (``A`` in the paper).
+    steps:
+        Number of clock steps from the first cycle in which data crossed
+        an array boundary to the last cycle in which a cell computed,
+        inclusive (``T`` in the paper).
+    mac_operations:
+        Multiply-accumulate operations actually executed by the array.
+        For a DBT-transformed problem this counts the operations of the
+        *padded* problem, because the transformed band is completely
+        filled.
+    useful_operations:
+        Operations attributable to the original, unpadded problem.  Equals
+        ``mac_operations`` when the problem dimensions are multiples of the
+        array size.
+    """
+
+    processing_elements: int
+    steps: int
+    mac_operations: int
+    useful_operations: Optional[int] = None
+
+    @property
+    def utilization(self) -> float:
+        """Hardware utilization: executed MACs over array capacity."""
+        return utilization(self.mac_operations, self.processing_elements, self.steps)
+
+    @property
+    def effective_utilization(self) -> float:
+        """Utilization counting only operations of the original problem."""
+        ops = (
+            self.useful_operations
+            if self.useful_operations is not None
+            else self.mac_operations
+        )
+        return utilization(ops, self.processing_elements, self.steps)
+
+    @property
+    def capacity(self) -> int:
+        """Total cell-cycles available during the execution (``A * T``)."""
+        return self.processing_elements * self.steps
+
+    def describe(self) -> str:
+        """One-line human readable summary used by examples and reports."""
+        return (
+            f"A={self.processing_elements} PEs, T={self.steps} steps, "
+            f"{self.mac_operations} MACs, utilization={self.utilization:.4f}"
+        )

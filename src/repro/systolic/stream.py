@@ -1,0 +1,138 @@
+"""Cycle-indexed data streams feeding and leaving the systolic arrays.
+
+A systolic array interacts with the outside world only through *streams*:
+sequences of values that cross an array boundary port at specific clock
+cycles.  :class:`DataStream` is a sparse mapping ``cycle -> ScheduledValue``
+used both for the input schedules built by the transformation code and for
+the output streams recorded by the simulators.
+
+Every scheduled value carries an optional *tag* (an arbitrary, typically
+hashable, label such as ``("x", 4)`` or ``("y", 2, "partial")``).  Tags are
+what the data-flow figures (Fig. 3 of the paper) are rendered from and what
+the recovery code uses to find final results in an output stream, so they
+travel with the values through the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ScheduleError
+
+__all__ = ["ScheduledValue", "DataStream"]
+
+
+@dataclass(frozen=True)
+class ScheduledValue:
+    """A single value crossing an array port at a given cycle."""
+
+    cycle: int
+    value: float
+    tag: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ScheduleError(f"scheduled cycle must be >= 0, got {self.cycle}")
+
+
+class DataStream:
+    """A sparse, cycle-indexed sequence of values at one array port.
+
+    At most one value may occupy a given cycle; scheduling a second value
+    into an occupied cycle raises :class:`~repro.errors.ScheduleError`,
+    which is how structural mistakes in a transformation schedule surface
+    immediately instead of silently corrupting a simulation.
+    """
+
+    def __init__(self, name: str = "stream"):
+        self._name = name
+        self._values: Dict[int, ScheduledValue] = {}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def schedule(self, cycle: int, value: float, tag: Optional[tuple] = None) -> None:
+        """Place ``value`` on the port at ``cycle``."""
+        item = ScheduledValue(cycle=int(cycle), value=float(value), tag=tag)
+        if item.cycle in self._values:
+            raise ScheduleError(
+                f"stream '{self._name}': cycle {item.cycle} already holds "
+                f"{self._values[item.cycle]!r}"
+            )
+        self._values[item.cycle] = item
+
+    def get(self, cycle: int) -> Optional[ScheduledValue]:
+        """Value scheduled at ``cycle``, or ``None`` for a bubble."""
+        return self._values.get(cycle)
+
+    def __contains__(self, cycle: int) -> bool:
+        return cycle in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[ScheduledValue]:
+        """Iterate over scheduled values in cycle order."""
+        for cycle in sorted(self._values):
+            yield self._values[cycle]
+
+    def cycles(self) -> List[int]:
+        """Sorted list of occupied cycles."""
+        return sorted(self._values)
+
+    @property
+    def first_cycle(self) -> Optional[int]:
+        return min(self._values) if self._values else None
+
+    @property
+    def last_cycle(self) -> Optional[int]:
+        return max(self._values) if self._values else None
+
+    def values(self) -> List[float]:
+        """Values in cycle order."""
+        return [self._values[c].value for c in sorted(self._values)]
+
+    def tagged(self, prefix: Optional[str] = None) -> List[ScheduledValue]:
+        """Scheduled values whose tag starts with ``prefix`` (all if ``None``)."""
+        out = []
+        for item in self:
+            if prefix is None:
+                out.append(item)
+            elif item.tag is not None and len(item.tag) > 0 and item.tag[0] == prefix:
+                out.append(item)
+        return out
+
+    def find_tag(self, tag: tuple) -> Optional[ScheduledValue]:
+        """First scheduled value carrying exactly ``tag``."""
+        for item in self:
+            if item.tag == tag:
+                return item
+        return None
+
+    def as_pairs(self) -> List[Tuple[int, float]]:
+        """``(cycle, value)`` pairs in cycle order."""
+        return [(c, self._values[c].value) for c in sorted(self._values)]
+
+    def shifted(self, offset: int, name: Optional[str] = None) -> "DataStream":
+        """A copy of the stream with every cycle displaced by ``offset``."""
+        out = DataStream(name or self._name)
+        for item in self:
+            out.schedule(item.cycle + offset, item.value, item.tag)
+        return out
+
+    def merged_with(self, other: "DataStream", name: Optional[str] = None) -> "DataStream":
+        """Union of two streams; overlapping cycles raise ``ScheduleError``."""
+        out = DataStream(name or f"{self._name}+{other._name}")
+        for item in self:
+            out.schedule(item.cycle, item.value, item.tag)
+        for item in other:
+            out.schedule(item.cycle, item.value, item.tag)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = (
+            f"[{self.first_cycle}..{self.last_cycle}]" if self._values else "[empty]"
+        )
+        return f"DataStream({self._name!r}, {len(self)} values, cycles {span})"

@@ -1,0 +1,128 @@
+"""Data-flow traces and Fig. 3 style rendering.
+
+Figure 3 of the paper tabulates, cycle by cycle, the data entering and
+leaving the linear array for the concrete problem ``n=6, m=9, w=3``: the
+``x`` elements entering one end, the ``b``/partial-``y`` values entering
+the other end, and the ``y`` values leaving.  :class:`DataFlowTrace`
+records exactly those three boundary streams during a simulation and can
+render them as an aligned text table, which is how the benchmark for F3
+regenerates the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from .stream import DataStream, ScheduledValue
+
+__all__ = ["DataFlowTrace", "render_dataflow_table", "default_tag_formatter"]
+
+
+def default_tag_formatter(item: ScheduledValue) -> str:
+    """Render a scheduled value's tag the way the paper labels data.
+
+    Tags produced by the matrix-vector pipeline look like ``("x", j)``,
+    ``("b", i)``, ``("y", i)`` or ``("y", i, pass_index)`` for partial
+    results; they are rendered as ``x3``, ``b1``, ``y2`` and ``y2^1``
+    respectively.  Untagged values fall back to their numeric value.
+    """
+    if item.tag is None:
+        return f"{item.value:g}"
+    kind = item.tag[0]
+    rest = item.tag[1:]
+    if len(rest) == 0:
+        return str(kind)
+    if len(rest) == 1:
+        return f"{kind}{rest[0]}"
+    return f"{kind}{rest[0]}^{rest[1]}"
+
+
+@dataclass
+class DataFlowTrace:
+    """Boundary-port activity of one array execution.
+
+    ``rows`` maps a display name (for example ``"x in"``) to the
+    :class:`~repro.systolic.stream.DataStream` observed at that port.
+    The insertion order of ``rows`` is the top-to-bottom order of the
+    rendered table.
+    """
+
+    rows: Dict[str, DataStream] = field(default_factory=dict)
+
+    def add_stream(self, name: str, stream: DataStream) -> None:
+        if name in self.rows:
+            raise ValueError(f"trace already has a row named {name!r}")
+        self.rows[name] = stream
+
+    @property
+    def first_cycle(self) -> int:
+        cycles = [s.first_cycle for s in self.rows.values() if s.first_cycle is not None]
+        return min(cycles) if cycles else 0
+
+    @property
+    def last_cycle(self) -> int:
+        cycles = [s.last_cycle for s in self.rows.values() if s.last_cycle is not None]
+        return max(cycles) if cycles else 0
+
+    @property
+    def total_cycles(self) -> int:
+        """Number of clock steps spanned by the trace, first to last inclusive."""
+        if not self.rows:
+            return 0
+        return self.last_cycle - self.first_cycle + 1
+
+    def row_labels(
+        self,
+        name: str,
+        formatter: Callable[[ScheduledValue], str] = default_tag_formatter,
+    ) -> List[str]:
+        """Labels of the values in row ``name``, in cycle order."""
+        return [formatter(item) for item in self.rows[name]]
+
+    def render(
+        self,
+        formatter: Callable[[ScheduledValue], str] = default_tag_formatter,
+        cycle_step: int = 1,
+    ) -> str:
+        """Render the trace as an aligned, Fig. 3 style text table."""
+        return render_dataflow_table(self, formatter=formatter, cycle_step=cycle_step)
+
+
+def render_dataflow_table(
+    trace: DataFlowTrace,
+    formatter: Callable[[ScheduledValue], str] = default_tag_formatter,
+    cycle_step: int = 1,
+) -> str:
+    """Render a :class:`DataFlowTrace` as a text table.
+
+    One column per ``cycle_step`` clock cycles; the header row lists the
+    cycle numbers, every subsequent row lists the datum crossing the
+    corresponding port at that cycle (``.`` for a bubble), mirroring the
+    layout of Figure 3 in the paper.
+    """
+    if not trace.rows:
+        return "(empty trace)"
+    first, last = trace.first_cycle, trace.last_cycle
+    cycles = list(range(first, last + 1, cycle_step))
+
+    header_cells = ["Clock:"] + [str(c) for c in cycles]
+    body: List[List[str]] = []
+    for name, stream in trace.rows.items():
+        row = [name]
+        for c in cycles:
+            covered = [stream.get(c + d) for d in range(cycle_step)]
+            present = [item for item in covered if item is not None]
+            row.append(formatter(present[0]) if present else ".")
+        body.append(row)
+
+    widths = []
+    for i in range(len(header_cells)):
+        column = [header_cells[i]] + [row[i] for row in body]
+        widths.append(max(len(cell) for cell in column))
+
+    lines = []
+    lines.append("  ".join(header_cells[i].rjust(widths[i]) for i in range(len(header_cells))))
+    for row in body:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator; reseeded per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matvec_problem(rng):
+    """A dense matrix-vector problem whose dimensions are not multiples of w."""
+    matrix = rng.uniform(-1.0, 1.0, size=(7, 10))
+    x = rng.uniform(-1.0, 1.0, size=10)
+    b = rng.uniform(-1.0, 1.0, size=7)
+    return matrix, x, b
+
+
+@pytest.fixture
+def paper_example_problem(rng):
+    """The paper's Fig. 2 / Fig. 3 concrete case: n=6, m=9, w=3."""
+    matrix = rng.uniform(-1.0, 1.0, size=(6, 9))
+    x = rng.uniform(-1.0, 1.0, size=9)
+    b = rng.uniform(-1.0, 1.0, size=6)
+    return matrix, x, b
+
+
+@pytest.fixture
+def small_matmul_problem(rng):
+    """A dense matrix-matrix problem with non-aligned dimensions."""
+    a = rng.uniform(-1.0, 1.0, size=(4, 5))
+    b = rng.uniform(-1.0, 1.0, size=(5, 7))
+    e = rng.uniform(-1.0, 1.0, size=(4, 7))
+    return a, b, e

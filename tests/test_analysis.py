@@ -1,0 +1,96 @@
+"""Unit tests for figure regeneration and experiment reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    render_fig1_block_structure,
+    render_fig2_concrete_case,
+    render_fig3_dataflow,
+    render_fig4_matmul_blocks,
+    render_fig5_spiral_topology,
+    render_fig6_recovery_map,
+)
+from repro.analysis.report import ExperimentReport, ExperimentRow
+
+
+class TestFigureRendering:
+    def test_fig1_lists_every_band_block_row(self):
+        text = render_fig1_block_structure(2, 3, 3)
+        assert "U_0,0" in text and "U_1,2" in text
+        assert "L_0,1" in text and "L_1,0" in text
+        assert text.count("feedback") == 4  # two non-initial passes per block row
+        assert "x'_0" in text
+
+    def test_fig2_shows_partition_cut(self):
+        text = render_fig2_concrete_case()
+        assert "n=6, m=9, w=3" in text
+        assert "cut after band block row 2" in text
+
+    def test_fig3_reports_39_steps(self):
+        text = render_fig3_dataflow()
+        assert "39 steps" in text
+        assert "x0" in text and "x8" in text
+        assert "Clock:" in text
+
+    def test_fig4_lists_operand_blocks(self):
+        text = render_fig4_matmul_blocks()
+        assert "U^A_0,0" in text
+        assert "low(B_0,0)" in text
+        assert "tail" in text
+
+    def test_fig5_topology(self):
+        text = render_fig5_spiral_topology(3)
+        assert "auto-feedback" in text
+        assert "3 PEs in loop" in text
+
+    def test_fig6_recovery_map(self):
+        text = render_fig6_recovery_map()
+        assert "chain lengths" in text
+        assert "(0, 0)" in text
+
+    def test_parametrized_sizes(self):
+        assert "n_bar=3, m_bar=2" in render_fig1_block_structure(3, 2, 2)
+        assert "w=4" in render_fig5_spiral_topology(4) or "4x4" in render_fig5_spiral_topology(4)
+
+
+class TestExperimentReport:
+    def test_integer_rows_require_exact_match(self):
+        row = ExperimentRow(label="steps", paper=39, measured=39)
+        assert row.matches
+        assert not ExperimentRow(label="steps", paper=39, measured=40).matches
+
+    def test_float_rows_allow_one_percent(self):
+        assert ExperimentRow("eta", 0.5, 0.501).matches
+        assert not ExperimentRow("eta", 0.5, 0.54).matches
+
+    def test_zero_paper_value(self):
+        assert ExperimentRow("zero", 0, 0.0).matches
+        assert not ExperimentRow("zero", 0, 1.0).matches
+        assert ExperimentRow("zero", 0, 0.0).ratio == 1.0
+
+    def test_ratio(self):
+        assert ExperimentRow("x", 2, 3).ratio == pytest.approx(1.5)
+
+    def test_report_accumulates_and_formats(self):
+        report = ExperimentReport("T1", "matrix-vector time")
+        report.add("steps (6x9, w=3)", 39, 39)
+        report.add("steps (8x8, w=4)", 37, 37)
+        assert report.all_match
+        assert report.mismatches() == []
+        table = report.format_table()
+        assert "T1" in table
+        assert "matrix-vector time" in table
+        assert table.count("yes") == 2
+
+    def test_report_flags_mismatches(self):
+        report = ExperimentReport("X")
+        report.add("bad", 10, 12)
+        assert not report.all_match
+        assert len(report.mismatches()) == 1
+        assert "NO" in report.format_table()
+
+    def test_empty_report_formats(self):
+        table = ExperimentReport("empty").format_table()
+        assert "metric" in table

@@ -1,0 +1,231 @@
+"""Unit tests for the DBT-by-rows transformation (Section 2 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dbt import DBTByRowsTransform, dbt_by_rows
+from repro.errors import TransformError
+from repro.matrices.padding import pad_matrix, pad_vector
+from repro.systolic.feedback import ExternalSource, FeedbackSource
+
+
+@pytest.fixture
+def paper_case(rng):
+    """The paper's running example: n=6, m=9, w=3 (n_bar=2, m_bar=3)."""
+    matrix = rng.uniform(-1.0, 1.0, size=(6, 9))
+    return DBTByRowsTransform(matrix, 3), matrix
+
+
+class TestGeometry:
+    def test_block_counts(self, paper_case):
+        transform, _matrix = paper_case
+        assert transform.n_bar == 2
+        assert transform.m_bar == 3
+        assert transform.block_row_count == 6
+
+    def test_band_dimensions(self, paper_case):
+        transform, _matrix = paper_case
+        assert transform.band_rows == 18
+        assert transform.band_cols == 20
+        band = transform.band
+        assert band.lower == 0
+        assert band.upper == 2
+
+    def test_non_aligned_dimensions_are_padded(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(5, 7)), 3)
+        assert transform.n_bar == 2
+        assert transform.m_bar == 3
+        assert transform.original_shape == (5, 7)
+
+    def test_convenience_constructor(self, rng):
+        matrix = rng.uniform(size=(4, 4))
+        assert dbt_by_rows(matrix, 2).band_rows == 8
+
+
+class TestAssignments:
+    def test_by_rows_rule(self, paper_case):
+        transform, _matrix = paper_case
+        expected_upper = [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        expected_lower = [(0, 1), (0, 2), (0, 0), (1, 1), (1, 2), (1, 0)]
+        assert [a.upper_source for a in transform.assignments] == expected_upper
+        assert [a.lower_source for a in transform.assignments] == expected_lower
+
+    def test_prt_is_the_single_block_case(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(3, 3)), 3)
+        assert transform.block_row_count == 1
+        assert transform.assignments[0].upper_source == (0, 0)
+        assert transform.assignments[0].lower_source == (0, 0)
+
+    def test_conditions_hold_for_many_shapes(self, rng):
+        for n, m, w in [(6, 9, 3), (5, 7, 3), (4, 4, 2), (9, 3, 3), (2, 10, 2)]:
+            DBTByRowsTransform(rng.uniform(size=(n, m)), w).verify_conditions()
+
+
+class TestBandContents:
+    def test_band_is_completely_filled(self, paper_case):
+        transform, _matrix = paper_case
+        filled, total = transform.band_fill_report()
+        assert filled == total
+        assert transform.is_band_full()
+
+    def test_every_band_entry_comes_from_the_padded_matrix(self, paper_case):
+        transform, matrix = paper_case
+        padded = pad_matrix(matrix, 3)
+        band = transform.band
+        for (i, j), (oi, oj) in transform.provenance().items():
+            assert band.get(i, j) == padded[oi, oj]
+
+    def test_each_original_element_appears_exactly_once(self, paper_case):
+        transform, matrix = paper_case
+        padded = pad_matrix(matrix, 3)
+        origins = list(transform.provenance().values())
+        assert len(origins) == len(set(origins))
+        assert len(origins) == padded.size
+
+    def test_diagonal_blocks_hold_upper_triangles(self, paper_case):
+        transform, matrix = paper_case
+        padded = pad_matrix(matrix, 3)
+        band = transform.band
+        # Band block row 1 holds U_{0,1} on its diagonal block.
+        block = np.array([[band.get(3 + a, 3 + b) for b in range(3)] for a in range(3)])
+        assert np.allclose(block, np.triu(padded[0:3, 3:6]))
+
+    def test_superdiagonal_blocks_hold_strict_lower_triangles(self, paper_case):
+        transform, matrix = paper_case
+        padded = pad_matrix(matrix, 3)
+        band = transform.band
+        # Band block row 0 holds L_{0,1} on its super-diagonal block.
+        block = np.zeros((3, 3))
+        for a in range(1, 3):
+            for b in range(a):
+                block[a, b] = band.get(a, 3 + b)
+        assert np.allclose(block, np.tril(padded[0:3, 3:6], k=-1))
+
+
+class TestTransformedVectors:
+    def test_x_layout_matches_paper(self, rng):
+        # For n=6, m=9, w=3 the transformed x is (x_0, x_1, x_2) twice plus
+        # the first two elements of x_0 — 20 elements in total (Fig. 3).
+        matrix = rng.uniform(size=(6, 9))
+        x = np.arange(1.0, 10.0)
+        transform = DBTByRowsTransform(matrix, 3)
+        x_tilde = transform.transform_x(x)
+        assert x_tilde.shape == (20,)
+        assert np.array_equal(x_tilde[:9], x)
+        assert np.array_equal(x_tilde[9:18], x)
+        assert np.array_equal(x_tilde[18:], x[:2])
+
+    def test_x_tags_name_original_elements(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(6, 9)), 3)
+        tags = transform.x_tags()
+        assert len(tags) == 20
+        assert tags[0] == ("x", 0)
+        assert tags[9] == ("x", 0)
+        assert tags[-1] == ("x", 1)
+
+    def test_x_length_validation(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(6, 9)), 3)
+        with pytest.raises(TransformError):
+            transform.transform_x(np.ones(8))
+
+    def test_padded_x_for_non_aligned_m(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(3, 4)), 3)
+        x = np.arange(1.0, 5.0)
+        x_tilde = transform.transform_x(x)
+        padded = pad_vector(x, 3)
+        assert x_tilde.shape[0] == transform.band_cols
+        assert np.array_equal(x_tilde[:6], padded)
+
+    def test_y_sources_alternate_external_and_feedback(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(6, 9)), 3)
+        b = np.arange(1.0, 7.0)
+        sources = transform.build_y_sources(b)
+        assert len(sources) == 18
+        # Block row 0 takes b_0 externally.
+        assert all(isinstance(s, ExternalSource) for s in sources[:3])
+        assert [s.value for s in sources[:3]] == [1.0, 2.0, 3.0]
+        # Block rows 1 and 2 take feedback.
+        assert all(isinstance(s, FeedbackSource) for s in sources[3:9])
+        # Block row 3 starts the second original block row with b_1.
+        assert all(isinstance(s, ExternalSource) for s in sources[9:12])
+        assert [s.value for s in sources[9:12]] == [4.0, 5.0, 6.0]
+
+    def test_missing_b_defaults_to_zero(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(3, 6)), 3)
+        sources = transform.build_y_sources(None)
+        assert all(
+            s.value == 0.0 for s in sources if isinstance(s, ExternalSource)
+        )
+
+    def test_b_length_validation(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(6, 9)), 3)
+        with pytest.raises(TransformError):
+            transform.build_y_sources(np.ones(5))
+
+    def test_output_tags_mark_final_passes(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(6, 9)), 3)
+        tags = transform.output_tags()
+        assert len(tags) == 18
+        assert tags[0] == ("y", 0, 0)        # partial, pass 0
+        assert tags[6] == ("y", 0)           # final (last pass of block row 0)
+        assert tags[-1] == ("y", 5)          # final element of the last block row
+
+    def test_final_band_rows(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(6, 9)), 3)
+        assert transform.final_band_rows() == [6, 7, 8, 15, 16, 17]
+
+
+class TestRecovery:
+    def test_recover_y_extracts_final_blocks(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(6, 9)), 3)
+        band_outputs = np.arange(18, dtype=float)
+        y = transform.recover_y(band_outputs)
+        assert np.array_equal(y, [6.0, 7.0, 8.0, 15.0, 16.0, 17.0])
+
+    def test_recover_validates_length(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(6, 9)), 3)
+        with pytest.raises(TransformError):
+            transform.recover_y(np.ones(17))
+
+    def test_recover_crops_padded_rows(self, rng):
+        transform = DBTByRowsTransform(rng.uniform(size=(5, 9)), 3)
+        y = transform.recover_y(np.arange(transform.band_rows, dtype=float))
+        assert y.shape == (5,)
+
+
+class TestFunctionalEquivalence:
+    def test_band_times_transformed_x_reproduces_products(self, rng):
+        """Each band block row's product equals one U/L partial contribution.
+
+        The full functional check (band product + feedback chain == A x + b)
+        is exercised end-to-end by the pipeline tests; here the structure is
+        validated at the band level: summing the band rows belonging to one
+        original block row reproduces that block row's product.
+        """
+        matrix = rng.uniform(size=(6, 9))
+        x = rng.uniform(size=9)
+        transform = DBTByRowsTransform(matrix, 3)
+        band = transform.band
+        x_tilde = transform.transform_x(x)
+        partials = band.matvec(x_tilde)
+        padded = pad_matrix(matrix, 3)
+        for block_row in range(transform.n_bar):
+            rows = slice(block_row * 3, block_row * 3 + 3)
+            summed = np.zeros(3)
+            for k in range(block_row * 3, (block_row + 1) * 3):
+                summed += partials[k * 3 : (k + 1) * 3]
+            assert np.allclose(summed, padded[rows] @ np.concatenate([x, np.zeros(0)]))
+
+    def test_w_of_one_reduces_to_elementwise_walk(self, rng):
+        matrix = rng.uniform(size=(2, 3))
+        x = rng.uniform(size=3)
+        transform = DBTByRowsTransform(matrix, 1)
+        assert transform.band_rows == 6
+        assert transform.band_cols == 6
+        partials = transform.band.matvec(transform.transform_x(x))
+        # Summing each original row's three partials gives the dense product.
+        y0 = partials[0] + partials[1] + partials[2]
+        y1 = partials[3] + partials[4] + partials[5]
+        assert np.allclose([y0, y1], matrix @ x)

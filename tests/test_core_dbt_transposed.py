@@ -1,0 +1,77 @@
+"""Unit tests for DBT-transposed-by-rows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dbt import DBTByRowsTransform
+from repro.core.dbt_transposed import (
+    DBTTransposedByRowsTransform,
+    dbt_transposed_by_rows,
+)
+from repro.matrices.padding import pad_matrix
+
+
+class TestDefinition:
+    def test_equals_transposed_by_rows_of_transpose(self, rng):
+        """The defining identity: DBT_t(A) == (DBT_by_rows(A^T))^T."""
+        matrix = rng.uniform(size=(6, 9))
+        direct = DBTTransposedByRowsTransform(matrix, 3)
+        via_definition = DBTByRowsTransform(matrix.T, 3).band.transpose()
+        assert np.allclose(direct.band.to_dense(), via_definition.to_dense())
+
+    def test_band_is_lower(self, rng):
+        transform = DBTTransposedByRowsTransform(rng.uniform(size=(5, 7)), 3)
+        band = transform.band
+        assert band.lower == 2
+        assert band.upper == 0
+
+    def test_dimensions_swap(self, rng):
+        transform = DBTTransposedByRowsTransform(rng.uniform(size=(6, 9)), 3)
+        # The inner transform works on the 9x6 transpose: 6 block rows of 3.
+        assert transform.band_cols == 18
+        assert transform.band_rows == 20
+        assert transform.block_col_count == 6
+        assert transform.n_bar == 2  # block rows of the original 6x9 matrix
+        assert transform.m_bar == 3
+
+    def test_convenience_constructor(self, rng):
+        assert dbt_transposed_by_rows(rng.uniform(size=(3, 3)), 3).w == 3
+
+
+class TestContents:
+    def test_band_full_and_provenance_consistent(self, rng):
+        matrix = rng.uniform(size=(7, 5))
+        transform = DBTTransposedByRowsTransform(matrix, 3)
+        assert transform.is_band_full()
+        padded = pad_matrix(matrix, 3)
+        band = transform.band
+        for (i, j), (oi, oj) in transform.provenance().items():
+            assert band.get(i, j) == padded[oi, oj]
+
+    def test_each_element_used_once(self, rng):
+        matrix = rng.uniform(size=(6, 6))
+        transform = DBTTransposedByRowsTransform(matrix, 3)
+        origins = list(transform.provenance().values())
+        assert len(origins) == len(set(origins)) == 36
+
+    def test_diagonal_blocks_hold_lower_triangles(self, rng):
+        matrix = rng.uniform(size=(6, 6))
+        transform = DBTTransposedByRowsTransform(matrix, 3)
+        padded = pad_matrix(matrix, 3)
+        band = transform.band
+        # The first diagonal block is the lower triangle (with diagonal) of
+        # the original block (0, 0).
+        block = np.array([[band.get(a, b) for b in range(3)] for a in range(3)])
+        assert np.allclose(block, np.tril(padded[:3, :3]))
+
+    def test_conditions_delegate_to_inner_transform(self, rng):
+        transform = DBTTransposedByRowsTransform(rng.uniform(size=(5, 8)), 3)
+        transform.verify_conditions()
+        assert len(transform.assignments) == transform.block_col_count
+
+    def test_band_fill_report(self, rng):
+        transform = DBTTransposedByRowsTransform(rng.uniform(size=(4, 4)), 2)
+        filled, total = transform.band_fill_report()
+        assert filled == total == transform.band.band_positions()

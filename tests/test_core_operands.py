@@ -1,0 +1,161 @@
+"""Unit tests for the matrix-matrix operand band construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.operands import MatMulOperands
+from repro.errors import TransformError
+from repro.matrices.padding import pad_matrix
+
+
+@pytest.fixture
+def fig4_case(rng):
+    """The paper's Fig. 4 case: n_bar=2, p_bar=2, m_bar=3, w=3."""
+    a = rng.uniform(-1.0, 1.0, size=(6, 6))
+    b = rng.uniform(-1.0, 1.0, size=(6, 9))
+    return MatMulOperands(a, b, 3), a, b
+
+
+class TestGeometry:
+    def test_block_counts_and_dimension(self, fig4_case):
+        operands, _a, _b = fig4_case
+        assert (operands.n_bar, operands.p_bar, operands.m_bar) == (2, 2, 3)
+        assert operands.full_block_count == 12
+        assert operands.copy_block_count == 4
+        # dimension = m_bar n_bar p_bar w + w - 1
+        assert operands.dimension == 12 * 3 + 2 == 38
+
+    def test_band_shapes_and_orientations(self, fig4_case):
+        operands, _a, _b = fig4_case
+        a_band = operands.a_operand.band
+        b_band = operands.b_operand.band
+        assert a_band.shape == (38, 38)
+        assert b_band.shape == (38, 38)
+        assert (a_band.lower, a_band.upper) == (0, 2)
+        assert (b_band.lower, b_band.upper) == (2, 0)
+
+    def test_non_aligned_shapes_are_padded(self, rng):
+        operands = MatMulOperands(rng.uniform(size=(4, 5)), rng.uniform(size=(5, 7)), 3)
+        assert (operands.n_bar, operands.p_bar, operands.m_bar) == (2, 2, 3)
+
+    def test_incompatible_shapes_rejected(self, rng):
+        with pytest.raises(TransformError):
+            MatMulOperands(rng.uniform(size=(4, 5)), rng.uniform(size=(6, 7)), 3)
+
+
+class TestBandContents:
+    def test_bands_are_completely_filled(self, fig4_case):
+        operands, _a, _b = fig4_case
+        assert operands.a_operand.is_band_full()
+        assert operands.b_operand.is_band_full()
+
+    def test_a_band_first_blocks_match_dbt_by_rows(self, fig4_case):
+        operands, a, _b = fig4_case
+        padded = pad_matrix(a, 3)
+        band = operands.a_operand.band
+        # Band block 0: U of A block (0,0) on the diagonal.
+        diag = np.array([[band.get(i, j) for j in range(3)] for i in range(3)])
+        assert np.allclose(diag, np.triu(padded[:3, :3]))
+        # Band block 0: L of A block (0,1) on the super-diagonal block.
+        super_block = np.array(
+            [[band.get(i, 3 + j) for j in range(3)] for i in range(3)]
+        )
+        assert np.allclose(super_block, np.tril(padded[:3, 3:6], k=-1))
+
+    def test_a_band_copies_repeat_every_copy_block_count(self, fig4_case):
+        operands, _a, _b = fig4_case
+        band = operands.a_operand.band
+        w, copy = 3, operands.copy_block_count
+        for block in range(operands.full_block_count - copy):
+            base, shifted = block * w, (block + copy) * w
+            original = np.array(
+                [[band.get(base + i, base + j) for j in range(w)] for i in range(w)]
+            )
+            repeat = np.array(
+                [[band.get(shifted + i, shifted + j) for j in range(w)] for i in range(w)]
+            )
+            assert np.allclose(original, repeat)
+
+    def test_b_band_diagonal_blocks_are_lower_triangles(self, fig4_case):
+        operands, _a, b = fig4_case
+        padded = pad_matrix(b, 3)
+        band = operands.b_operand.band
+        diag = np.array([[band.get(i, j) for j in range(3)] for i in range(3)])
+        assert np.allclose(diag, np.tril(padded[:3, :3]))
+
+    def test_tail_blocks_hold_leading_corners(self, fig4_case):
+        operands, a, b = fig4_case
+        a_padded, b_padded = pad_matrix(a, 3), pad_matrix(b, 3)
+        tail = operands.full_block_count * 3
+        a_band, b_band = operands.a_operand.band, operands.b_operand.band
+        for i in range(2):
+            for j in range(i, 2):
+                assert a_band.get(tail + i, tail + j) == pytest.approx(
+                    np.triu(a_padded[:3, :3])[i, j]
+                )
+        for i in range(2):
+            for j in range(i + 1):
+                assert b_band.get(tail + i, tail + j) == pytest.approx(
+                    np.tril(b_padded[:3, :3])[i, j]
+                )
+
+    def test_provenance_values_match_padded_operands(self, fig4_case):
+        operands, a, b = fig4_case
+        a_padded, b_padded = pad_matrix(a, 3), pad_matrix(b, 3)
+        a_band = operands.a_operand.band
+        for (i, j), (oi, oj) in operands.a_operand.provenance.items():
+            assert a_band.get(i, j) == a_padded[oi, oj]
+        b_band = operands.b_operand.band
+        for (i, j), (oi, oj) in operands.b_operand.provenance.items():
+            assert b_band.get(i, j) == b_padded[oi, oj]
+
+
+class TestStructuralAudits:
+    def test_inner_origins_consistent(self, fig4_case):
+        operands, _a, _b = fig4_case
+        assert operands.inner_origins_consistent()
+
+    def test_row_and_column_origins_cover_all_indices(self, fig4_case):
+        operands, _a, _b = fig4_case
+        assert np.all(operands.a_operand.row_origin >= 0)
+        assert np.all(operands.b_operand.col_origin >= 0)
+        # Every original row/column index appears.
+        assert set(operands.a_operand.row_origin) == set(range(6))
+        assert set(operands.b_operand.col_origin) == set(range(9))
+
+    @pytest.mark.parametrize(
+        "n,p,m,w", [(3, 3, 3, 3), (6, 6, 9, 3), (4, 5, 7, 3), (4, 4, 4, 2), (2, 3, 4, 2)]
+    )
+    def test_product_coverage(self, rng, n, p, m, w):
+        operands = MatMulOperands(
+            rng.uniform(size=(n, p)), rng.uniform(size=(p, m)), w
+        )
+        covered, duplicated = operands.verify_product_coverage()
+        n_bar = -(-n // w)
+        p_bar = -(-p // w)
+        m_bar = -(-m // w)
+        assert covered == n_bar * p_bar * m_bar * w ** 3
+        # Duplicates only come from the (w-1)x(w-1) tail corner product.
+        assert duplicated <= (w - 1) ** 3
+
+    def test_band_product_equals_padded_products(self, rng):
+        """The numerical check behind the coverage audit: the band product
+        contains exactly the padded dense product contributions."""
+        a = rng.uniform(size=(4, 4))
+        b = rng.uniform(size=(4, 4))
+        operands = MatMulOperands(a, b, 2)
+        a_band = operands.a_operand.band.to_dense()
+        b_band = operands.b_operand.band.to_dense()
+        product = a_band @ b_band
+        row_origin = operands.a_operand.row_origin
+        col_origin = operands.b_operand.col_origin
+        tail = operands.full_block_count * 2
+        collected = np.zeros((4, 4))
+        for i in range(operands.dimension):
+            for j in range(operands.dimension):
+                if i >= tail and j >= tail:
+                    continue
+                collected[row_origin[i], col_origin[j]] += product[i, j]
+        assert np.allclose(collected, pad_matrix(a, 2) @ pad_matrix(b, 2))

@@ -1,0 +1,165 @@
+"""Unit tests for partial-result placement, feedback planning and recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.operands import MatMulOperands
+from repro.core.recovery import (
+    PartialResultMap,
+    classify_feedback_delays,
+)
+from repro.errors import RecoveryError
+from repro.systolic.feedback import ExternalSource
+from repro.systolic.hex_array import HexFeedbackSource, HexagonalArray
+
+
+@pytest.fixture
+def placement_case(rng):
+    a = rng.uniform(-1.0, 1.0, size=(6, 6))
+    b = rng.uniform(-1.0, 1.0, size=(6, 6))
+    operands = MatMulOperands(a, b, 3)
+    return PartialResultMap(operands), operands, a, b
+
+
+class TestChains:
+    def test_every_padded_element_has_a_chain(self, placement_case):
+        placement, operands, _a, _b = placement_case
+        chains = placement.chains
+        expected = {
+            (alpha, gamma)
+            for alpha in range(operands.n_bar * 3)
+            for gamma in range(operands.m_bar * 3)
+        }
+        assert set(chains) == expected
+
+    def test_chain_positions_are_entry_ordered(self, placement_case):
+        placement, operands, _a, _b = placement_case
+        array = HexagonalArray(3, 3)
+        a_band = operands.a_operand.band
+        b_band = operands.b_operand.band
+        for chain in placement.chains.values():
+            entries = [
+                array.c_token_window(a_band, b_band, *position)[0]
+                for position in chain.positions
+            ]
+            assert entries == sorted(entries)
+
+    def test_chain_lengths_are_at_least_p_bar(self, placement_case):
+        placement, operands, _a, _b = placement_case
+        for chain in placement.chains.values():
+            assert chain.length >= operands.p_bar
+
+    def test_chain_lookup_and_missing_target(self, placement_case):
+        placement, _operands, _a, _b = placement_case
+        chain = placement.chain(0, 0)
+        assert chain.target == (0, 0)
+        with pytest.raises(RecoveryError):
+            placement.chain(100, 0)
+
+    def test_chain_length_histogram(self, placement_case):
+        placement, _operands, _a, _b = placement_case
+        histogram = placement.chain_lengths()
+        assert sum(histogram.values()) == len(placement.chains)
+        assert all(length >= 1 for length in histogram)
+
+    def test_tail_corner_positions_are_excluded(self, placement_case):
+        placement, operands, _a, _b = placement_case
+        tail = operands.full_block_count * 3
+        for chain in placement.chains.values():
+            for (i, j) in chain.positions:
+                assert not (i >= tail and j >= tail)
+
+
+class TestTokenPlan:
+    def test_plan_contains_feedback_for_every_non_initial_position(self, placement_case):
+        placement, _operands, _a, _b = placement_case
+        e = np.ones((6, 6))
+        plan = placement.build_token_plan(e)
+        feedback_count = sum(
+            isinstance(source, HexFeedbackSource) for source in plan.sources.values()
+        )
+        expected = sum(chain.length - 1 for chain in placement.chains.values())
+        assert feedback_count == expected
+
+    def test_plan_injects_e_at_chain_heads(self, placement_case):
+        placement, _operands, _a, _b = placement_case
+        e = np.full((6, 6), 2.0)
+        plan = placement.build_token_plan(e)
+        heads = {chain.positions[0] for chain in placement.chains.values()}
+        external = {
+            position
+            for position, source in plan.sources.items()
+            if isinstance(source, ExternalSource)
+        }
+        assert external <= heads
+        assert len(external) == 36  # every original element has a nonzero addend
+
+    def test_plan_without_e_has_no_external_sources(self, placement_case):
+        placement, _operands, _a, _b = placement_case
+        plan = placement.build_token_plan(None)
+        assert not any(
+            isinstance(source, ExternalSource) for source in plan.sources.values()
+        )
+
+    def test_plan_validates_e_shape(self, placement_case):
+        placement, _operands, _a, _b = placement_case
+        with pytest.raises(RecoveryError):
+            placement.build_token_plan(np.ones((3, 3)))
+
+    def test_feedback_targets_cover_non_head_positions(self, placement_case):
+        placement, _operands, _a, _b = placement_case
+        targets = placement.feedback_targets()
+        expected = sum(chain.length - 1 for chain in placement.chains.values())
+        assert len(targets) == expected
+
+
+class TestRecovery:
+    def test_recover_c_reads_final_positions(self, placement_case):
+        placement, operands, a, b = placement_case
+        array = HexagonalArray(3, 3)
+        plan = placement.build_token_plan(None)
+        run = array.run(operands.a_operand.band, operands.b_operand.band, c_plan=plan)
+        c = placement.recover_c(run.c_band)
+        assert np.allclose(c, a @ b)
+
+    def test_final_positions_unique(self, placement_case):
+        placement, _operands, _a, _b = placement_case
+        finals = placement.final_positions()
+        assert len(set(finals.values())) == len(finals)
+
+
+class TestFeedbackClassification:
+    def test_split_by_threshold(self):
+        delays = {(0, 0): 5, (1, 1): 7, (2, 2): 40}
+        targets = {(0, 0): (0, 0), (1, 1): (0, 1), (2, 2): (5, 0)}
+        classification = classify_feedback_delays(delays, targets, w=3)
+        assert classification.regular_threshold == 9
+        assert classification.regular_count == 2
+        assert classification.irregular_count == 1
+        assert classification.max_regular_delay == 7
+        assert classification.max_irregular_delay == 40
+        assert classification.irregular[0] == ((5, 0), 40)
+
+    def test_empty_delays(self):
+        classification = classify_feedback_delays({}, {}, w=4)
+        assert classification.regular_count == 0
+        assert classification.irregular_count == 0
+        assert classification.max_regular_delay == 0
+        assert classification.max_irregular_delay == 0
+
+    def test_irregular_targets_belong_to_first_or_last_block_row(self, placement_case):
+        """The paper's claim: irregular feedback only arises for the U_{0,j}
+        and L_{n_bar-1,j} blocks, i.e. the first and last original block rows."""
+        placement, operands, _a, _b = placement_case
+        array = HexagonalArray(3, 3)
+        plan = placement.build_token_plan(None)
+        run = array.run(operands.a_operand.band, operands.b_operand.band, c_plan=plan)
+        classification = classify_feedback_delays(
+            run.feedback_delays, placement.feedback_targets(), operands.w
+        )
+        w, n_bar = operands.w, operands.n_bar
+        for (alpha, _gamma), _delay in classification.irregular:
+            block_row = alpha // w
+            assert block_row in (0, n_bar - 1)

@@ -1,0 +1,47 @@
+"""Unit tests for overlap partition planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import OverlapPartition, plan_overlap_partition
+from repro.errors import ScheduleError
+
+
+class TestPlanOverlapPartition:
+    def test_paper_case_splits_in_the_middle(self):
+        # n=6, m=9, w=3 -> two original block rows, one per half; the cut
+        # falls after band block row 2 (the dotted line of Fig. 2.b).
+        partition = plan_overlap_partition(6, 9, 3)
+        assert partition.first_block_rows == 1
+        assert partition.second_block_rows == 1
+        assert partition.cut_band_block_row == 3
+        assert partition.first_rows == 3
+        assert partition.second_rows == 3
+        assert partition.is_balanced()
+
+    def test_odd_block_rows_give_larger_first_half(self):
+        partition = plan_overlap_partition(9, 4, 3)
+        assert partition.first_block_rows == 2
+        assert partition.second_block_rows == 1
+        assert partition.first_rows == 6
+        assert partition.second_rows == 3
+        assert partition.is_balanced()
+
+    def test_non_aligned_rows(self):
+        partition = plan_overlap_partition(7, 5, 3)
+        assert partition.n_bar == 3
+        assert partition.first_rows + partition.second_rows == 7
+
+    def test_single_block_row_cannot_be_partitioned(self):
+        with pytest.raises(ScheduleError):
+            plan_overlap_partition(3, 9, 3)
+
+    def test_m_bar_property(self):
+        partition = plan_overlap_partition(6, 10, 3)
+        assert partition.m_bar == 4
+
+    def test_dataclass_fields(self):
+        partition = OverlapPartition(w=3, n=6, m=9, first_block_rows=1, second_block_rows=1)
+        assert partition.n_bar == 2
+        assert partition.cut_band_block_row == 3

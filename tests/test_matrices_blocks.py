@@ -1,0 +1,155 @@
+"""Unit tests for ``repro.matrices.blocks``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrices.blocks import (
+    BlockGrid,
+    diagonal_part,
+    merge_triangles,
+    merge_udl,
+    split_udl,
+    strict_lower_triangle,
+    strict_upper_triangle,
+    triangular_split,
+    upper_triangle,
+)
+
+
+@pytest.fixture
+def block():
+    return np.arange(1.0, 10.0).reshape(3, 3)
+
+
+class TestTriangleHelpers:
+    def test_upper_triangle_keeps_diagonal(self, block):
+        upper = upper_triangle(block)
+        assert upper[0, 0] == block[0, 0]
+        assert upper[2, 0] == 0.0
+        assert upper[0, 2] == block[0, 2]
+
+    def test_strict_lower_excludes_diagonal(self, block):
+        lower = strict_lower_triangle(block)
+        assert lower[0, 0] == 0.0
+        assert lower[2, 0] == block[2, 0]
+        assert lower[0, 2] == 0.0
+
+    def test_strict_upper_excludes_diagonal(self, block):
+        upper = strict_upper_triangle(block)
+        assert upper[0, 0] == 0.0
+        assert upper[0, 1] == block[0, 1]
+
+    def test_diagonal_part(self, block):
+        diag = diagonal_part(block)
+        assert np.array_equal(np.diag(diag), np.diag(block))
+        assert diag[0, 1] == 0.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ShapeError):
+            upper_triangle(np.ones((2, 3)))
+
+
+class TestTriangularSplit:
+    def test_split_sums_back_to_block(self, block):
+        upper, lower = triangular_split(block)
+        assert np.array_equal(upper + lower, block)
+
+    def test_main_diagonal_belongs_to_upper(self, block):
+        upper, lower = triangular_split(block)
+        assert np.array_equal(np.diag(upper), np.diag(block))
+        assert np.all(np.diag(lower) == 0.0)
+
+    def test_merge_validates_structure(self, block):
+        upper, lower = triangular_split(block)
+        assert np.array_equal(merge_triangles(upper, lower), block)
+        with pytest.raises(ShapeError):
+            merge_triangles(lower, upper)  # wrong order: not upper/strict-lower
+
+    def test_merge_rejects_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            merge_triangles(np.triu(np.ones((3, 3))), np.tril(np.ones((2, 2)), -1))
+
+
+class TestSplitUDL:
+    def test_three_way_split_sums_back(self, block):
+        u, d, l = split_udl(block)
+        assert np.array_equal(u + d + l, block)
+        assert np.array_equal(merge_udl(u, d, l), block)
+
+    def test_parts_have_expected_structure(self, block):
+        u, d, l = split_udl(block)
+        assert np.all(np.diag(u) == 0.0)
+        assert np.all(np.diag(l) == 0.0)
+        assert np.array_equal(d, np.diag(np.diag(block)))
+
+    def test_merge_rejects_malformed_parts(self, block):
+        u, d, l = split_udl(block)
+        with pytest.raises(ShapeError):
+            merge_udl(d, d, l)
+        with pytest.raises(ShapeError):
+            merge_udl(u, block, l)
+        with pytest.raises(ShapeError):
+            merge_udl(u, d, block)
+
+
+class TestBlockGrid:
+    def test_geometry_with_padding(self):
+        grid = BlockGrid(np.ones((7, 10)), 3)
+        assert grid.block_rows == 3
+        assert grid.block_cols == 4
+        assert grid.padded_shape == (9, 12)
+        assert grid.original_shape == (7, 10)
+
+    def test_block_contents_and_padding_zeros(self):
+        matrix = np.arange(1.0, 1.0 + 7 * 10).reshape(7, 10)
+        grid = BlockGrid(matrix, 3)
+        top_left = grid.block(0, 0)
+        assert np.array_equal(top_left, matrix[:3, :3])
+        bottom_right = grid.block(2, 3)
+        assert bottom_right.shape == (3, 3)
+        assert np.array_equal(bottom_right[:1, :1], matrix[6:7, 9:10])
+        assert np.all(bottom_right[1:, :] == 0.0)
+        assert np.all(bottom_right[:, 1:] == 0.0)
+
+    def test_upper_lower_views_match_block(self):
+        matrix = np.arange(36, dtype=float).reshape(6, 6)
+        grid = BlockGrid(matrix, 3)
+        for i in range(2):
+            for j in range(2):
+                block = grid.block(i, j)
+                assert np.array_equal(grid.upper(i, j) + grid.lower(i, j), block)
+
+    def test_block_index_out_of_range(self):
+        grid = BlockGrid(np.ones((4, 4)), 2)
+        with pytest.raises(ShapeError):
+            grid.block(2, 0)
+        with pytest.raises(ShapeError):
+            grid.block(0, -1)
+
+    def test_iter_blocks_row_major(self):
+        grid = BlockGrid(np.ones((4, 4)), 2)
+        order = [(idx.row, idx.col) for idx, _block in grid.iter_blocks()]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_assemble_roundtrip(self):
+        matrix = np.arange(36, dtype=float).reshape(6, 6)
+        grid = BlockGrid(matrix, 3)
+        assembled = BlockGrid.assemble(grid.to_block_array())
+        assert np.array_equal(assembled, matrix)
+
+    def test_assemble_validates_shape(self):
+        with pytest.raises(ShapeError):
+            BlockGrid.assemble(np.ones((2, 2, 3, 2)))
+
+    def test_rejects_vectors(self):
+        with pytest.raises(ShapeError):
+            BlockGrid(np.ones(5), 2)
+
+    def test_padded_returns_copy(self):
+        grid = BlockGrid(np.ones((2, 2)), 2)
+        padded = grid.padded
+        padded[0, 0] = 42.0
+        assert grid.padded[0, 0] == 1.0

@@ -1,0 +1,72 @@
+"""Unit tests for ``repro.matrices.dense``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrices.dense import (
+    as_matrix,
+    as_vector,
+    random_matmul_problem,
+    random_matrix,
+    random_matvec_problem,
+    random_vector,
+)
+
+
+class TestValidation:
+    def test_as_matrix_converts_lists(self):
+        matrix = as_matrix([[1, 2], [3, 4]])
+        assert matrix.dtype == float
+        assert matrix.shape == (2, 2)
+
+    def test_as_matrix_rejects_vectors_and_empties(self):
+        with pytest.raises(ShapeError):
+            as_matrix(np.ones(3))
+        with pytest.raises(ShapeError):
+            as_matrix(np.ones((0, 2)))
+
+    def test_as_vector_converts_lists(self):
+        vector = as_vector([1, 2, 3])
+        assert vector.shape == (3,)
+
+    def test_as_vector_rejects_matrices_and_empties(self):
+        with pytest.raises(ShapeError):
+            as_vector(np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            as_vector(np.array([]))
+
+
+class TestGenerators:
+    def test_random_matrix_is_reproducible(self):
+        first = random_matrix(4, 5, seed=7)
+        second = random_matrix(4, 5, seed=7)
+        assert np.array_equal(first, second)
+        assert first.shape == (4, 5)
+
+    def test_random_vector_respects_bounds(self):
+        vector = random_vector(100, seed=3, low=0.5, high=0.6)
+        assert vector.min() >= 0.5
+        assert vector.max() <= 0.6
+
+    def test_matvec_problem_reference(self):
+        problem = random_matvec_problem(5, 7, seed=1)
+        assert problem.shape == (5, 7)
+        expected = problem.matrix @ problem.x + problem.b
+        assert np.allclose(problem.reference(), expected)
+
+    def test_matvec_problem_without_bias(self):
+        problem = random_matvec_problem(4, 4, seed=2, with_bias=False)
+        assert np.all(problem.b == 0.0)
+
+    def test_matmul_problem_reference(self):
+        problem = random_matmul_problem(3, 4, 5, seed=1)
+        assert problem.shape == (3, 4, 5)
+        expected = problem.a @ problem.b + problem.e
+        assert np.allclose(problem.reference(), expected)
+
+    def test_matmul_problem_without_addend(self):
+        problem = random_matmul_problem(3, 3, 3, seed=2, with_addend=False)
+        assert np.all(problem.e == 0.0)

@@ -1,0 +1,113 @@
+"""Unit tests for ``repro.matrices.padding``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ArraySizeError, ShapeError
+from repro.matrices.padding import (
+    block_count,
+    crop_matrix,
+    crop_vector,
+    pad_matrix,
+    pad_vector,
+    padded_size,
+    validate_array_size,
+)
+
+
+class TestValidateArraySize:
+    def test_accepts_positive_integers(self):
+        assert validate_array_size(1) == 1
+        assert validate_array_size(17) == 17
+
+    def test_accepts_numpy_integers(self):
+        assert validate_array_size(np.int64(4)) == 4
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ArraySizeError):
+            validate_array_size(0)
+        with pytest.raises(ArraySizeError):
+            validate_array_size(-3)
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(ArraySizeError):
+            validate_array_size(2.5)
+        with pytest.raises(ArraySizeError):
+            validate_array_size("3")
+
+
+class TestBlockCount:
+    def test_exact_multiple(self):
+        assert block_count(9, 3) == 3
+
+    def test_rounds_up(self):
+        assert block_count(10, 3) == 4
+        assert block_count(1, 5) == 1
+
+    def test_rejects_non_positive_dimension(self):
+        with pytest.raises(ShapeError):
+            block_count(0, 3)
+
+    def test_padded_size(self):
+        assert padded_size(10, 3) == 12
+        assert padded_size(9, 3) == 9
+
+
+class TestPadMatrix:
+    def test_no_padding_needed_returns_copy(self):
+        matrix = np.arange(9, dtype=float).reshape(3, 3)
+        padded = pad_matrix(matrix, 3)
+        assert padded.shape == (3, 3)
+        assert np.array_equal(padded, matrix)
+        padded[0, 0] = 99.0
+        assert matrix[0, 0] == 0.0
+
+    def test_pads_rows_and_columns_with_zeros(self):
+        matrix = np.ones((4, 5))
+        padded = pad_matrix(matrix, 3)
+        assert padded.shape == (6, 6)
+        assert np.array_equal(padded[:4, :5], matrix)
+        assert np.all(padded[4:, :] == 0.0)
+        assert np.all(padded[:, 5:] == 0.0)
+
+    def test_rejects_vectors(self):
+        with pytest.raises(ShapeError):
+            pad_matrix(np.ones(4), 2)
+
+    def test_crop_roundtrip(self):
+        matrix = np.arange(20, dtype=float).reshape(4, 5)
+        padded = pad_matrix(matrix, 3)
+        assert np.array_equal(crop_matrix(padded, 4, 5), matrix)
+
+    def test_crop_rejects_growing(self):
+        with pytest.raises(ShapeError):
+            crop_matrix(np.ones((2, 2)), 3, 2)
+
+
+class TestPadVector:
+    def test_pads_with_zeros(self):
+        vector = np.array([1.0, 2.0, 3.0, 4.0])
+        padded = pad_vector(vector, 3)
+        assert padded.shape == (6,)
+        assert np.array_equal(padded[:4], vector)
+        assert np.all(padded[4:] == 0.0)
+
+    def test_no_padding_returns_copy(self):
+        vector = np.array([1.0, 2.0, 3.0])
+        padded = pad_vector(vector, 3)
+        padded[0] = 7.0
+        assert vector[0] == 1.0
+
+    def test_rejects_matrices(self):
+        with pytest.raises(ShapeError):
+            pad_vector(np.ones((2, 2)), 2)
+
+    def test_crop_roundtrip(self):
+        vector = np.arange(5, dtype=float)
+        assert np.array_equal(crop_vector(pad_vector(vector, 4), 5), vector)
+
+    def test_crop_rejects_growing(self):
+        with pytest.raises(ShapeError):
+            crop_vector(np.ones(3), 4)

@@ -1,0 +1,100 @@
+"""Unit tests for ``repro.systolic.feedback``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FeedbackError
+from repro.systolic.feedback import (
+    ExternalSource,
+    FeedbackSource,
+    ShiftRegisterFeedback,
+    SpiralFeedbackTopology,
+)
+
+
+class TestShiftRegisterFeedback:
+    def test_delay_equals_register_count(self):
+        register = ShiftRegisterFeedback(3)
+        outputs = []
+        outputs.append(register.shift((1.0, None)))
+        outputs.append(register.shift(None))
+        outputs.append(register.shift(None))
+        outputs.append(register.shift(None))
+        # The value pushed at the first shift emerges exactly 3 shifts later.
+        assert outputs[:3] == [None, None, None]
+        assert outputs[3] == (1.0, None)
+
+    def test_bubbles_travel_like_values(self):
+        register = ShiftRegisterFeedback(2)
+        register.shift((1.0, ("y", 0)))
+        register.shift((2.0, ("y", 1)))
+        assert register.shift(None) == (1.0, ("y", 0))
+        assert register.shift(None) == (2.0, ("y", 1))
+        assert register.shift(None) is None
+
+    def test_occupancy_peak(self):
+        register = ShiftRegisterFeedback(4)
+        register.shift((1.0, None))
+        register.shift((2.0, None))
+        assert register.occupied_peak == 2
+        register.shift(None)
+        register.shift(None)
+        assert register.occupied_peak == 2
+
+    def test_snapshot_and_pushes(self):
+        register = ShiftRegisterFeedback(2)
+        register.shift((5.0, None))
+        snapshot = register.snapshot()
+        assert len(snapshot) == 2
+        assert snapshot[-1] == (5.0, None)
+        assert register.pushes == 1
+
+    def test_sources_are_lightweight_records(self):
+        external = ExternalSource(value=2.0, tag=("b", 1))
+        feedback = FeedbackSource(tag=("y", 1, 0))
+        assert external.value == 2.0
+        assert feedback.tag == ("y", 1, 0)
+
+
+class TestSpiralFeedbackTopology:
+    def test_every_loop_crosses_w_cells(self):
+        for w in (1, 2, 3, 5, 8):
+            topology = SpiralFeedbackTopology(w)
+            assert all(loop.cells == w for loop in topology.loops)
+
+    def test_loop_count_and_pairing(self):
+        topology = SpiralFeedbackTopology(4)
+        assert topology.loop_count == 4
+        edges = dict(topology.edge_list())
+        assert edges[0] == 0  # main diagonal feeds itself
+        assert edges[1] == -3
+        assert edges[2] == -2
+        assert edges[3] == -1
+
+    def test_register_counts_match_paper(self):
+        topology = SpiralFeedbackTopology(3)
+        # 2w for the main diagonal + w per sub-diagonal pair.
+        assert topology.regular_register_count() == 2 * 3 + (3 - 1) * 3
+        # 3 w (w - 1) / 2 extra for the irregular delays.
+        assert topology.irregular_register_count() == 9
+        assert topology.total_register_count() == 12 + 9
+
+    def test_loop_lookup(self):
+        topology = SpiralFeedbackTopology(3)
+        loop = topology.loop_for_output(2)
+        assert loop.input_offset == -1
+        with pytest.raises(FeedbackError):
+            topology.loop_for_output(5)
+
+    def test_describe_mentions_every_loop(self):
+        topology = SpiralFeedbackTopology(3)
+        text = topology.describe()
+        assert "auto-feedback" in text
+        assert text.count("->") == topology.loop_count
+        assert "irregular feedback registers: 9" in text
+
+    def test_main_diagonal_flag(self):
+        topology = SpiralFeedbackTopology(2)
+        assert topology.loops[0].is_main_diagonal
+        assert not topology.loops[1].is_main_diagonal

@@ -1,0 +1,190 @@
+"""Unit tests for the hexagonal band matrix-matrix array simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ArraySizeError, FeedbackError, ShapeError
+from repro.matrices.banded import BandMatrix
+from repro.systolic.feedback import ExternalSource
+from repro.systolic.hex_array import (
+    CTokenPlan,
+    HexFeedbackSource,
+    HexagonalArray,
+    HexRunResult,
+)
+
+
+def random_band(rng, size, lower, upper):
+    dense = rng.uniform(-1.0, 1.0, size=(size, size))
+    i = np.arange(size)[:, None]
+    j = np.arange(size)[None, :]
+    dense = dense * ((j - i >= -lower) & (j - i <= upper))
+    return dense, BandMatrix.from_dense(dense, lower=lower, upper=upper)
+
+
+class TestValidation:
+    def test_operand_bandwidth_must_match_array(self, rng):
+        _d, a = random_band(rng, 5, 0, 2)
+        _d, b = random_band(rng, 5, 1, 0)
+        with pytest.raises(ArraySizeError):
+            HexagonalArray(3, 3).run(a, b)  # b has bandwidth 2, not 3
+
+    def test_shape_compatibility(self, rng):
+        _d, a = random_band(rng, 5, 0, 2)
+        _d, b = random_band(rng, 6, 2, 0)
+        with pytest.raises(ShapeError):
+            HexagonalArray(3, 3).run(a, b)
+
+    def test_processing_element_count(self):
+        assert HexagonalArray(3).processing_elements == 9
+        assert HexagonalArray(3, 4).processing_elements == 12
+
+
+class TestBandProductCorrectness:
+    @pytest.mark.parametrize("size,w", [(4, 2), (6, 3), (8, 3), (9, 4)])
+    def test_upper_times_lower(self, rng, size, w):
+        a_dense, a_band = random_band(rng, size, 0, w - 1)
+        b_dense, b_band = random_band(rng, size, w - 1, 0)
+        result = HexagonalArray(w, w).run(a_band, b_band, verify_occupancy=True)
+        assert np.allclose(result.c_band.to_dense(), a_dense @ b_dense)
+
+    def test_general_bands(self, rng):
+        a_dense, a_band = random_band(rng, 7, 1, 1)
+        b_dense, b_band = random_band(rng, 7, 2, 1)
+        result = HexagonalArray(3, 4).run(a_band, b_band, verify_occupancy=True)
+        assert np.allclose(result.c_band.to_dense(), a_dense @ b_dense)
+
+    def test_addend_enters_through_c_ports(self, rng):
+        size, w = 6, 3
+        a_dense, a_band = random_band(rng, size, 0, w - 1)
+        b_dense, b_band = random_band(rng, size, w - 1, 0)
+        e_dense, e_band = random_band(rng, size, w - 1, w - 1)
+        plan = CTokenPlan.from_band(e_band)
+        result = HexagonalArray(w, w).run(a_band, b_band, c_plan=plan)
+        assert np.allclose(result.c_band.to_dense(), a_dense @ b_dense + e_dense)
+
+    def test_tridiagonal_times_tridiagonal(self, rng):
+        a_dense, a_band = random_band(rng, 8, 1, 1)
+        b_dense, b_band = random_band(rng, 8, 1, 1)
+        result = HexagonalArray(3, 3).run(a_band, b_band)
+        assert np.allclose(result.c_band.to_dense(), a_dense @ b_dense)
+        assert result.c_band.lower == 2 and result.c_band.upper == 2
+
+
+class TestTimingAndMetrics:
+    def test_c_stream_cycle_count(self, rng):
+        # For bandwidth-w operands of dimension M the C stream spans
+        # 3M + w - 2 steps under the simulator's schedule.
+        for size, w in [(6, 3), (8, 2), (10, 4)]:
+            _ad, a_band = random_band(rng, size, 0, w - 1)
+            _bd, b_band = random_band(rng, size, w - 1, 0)
+            result = HexagonalArray(w, w).run(a_band, b_band)
+            assert result.c_stream_cycles == 3 * size + w - 2
+
+    def test_total_cycles_cover_all_streams(self, rng):
+        _ad, a_band = random_band(rng, 6, 0, 2)
+        _bd, b_band = random_band(rng, 6, 2, 0)
+        result = HexagonalArray(3, 3).run(a_band, b_band)
+        assert result.total_cycles >= result.c_stream_cycles
+        assert result.compute_cycles <= result.c_stream_cycles
+
+    def test_mac_count_equals_band_product_terms(self, rng):
+        _ad, a_band = random_band(rng, 6, 0, 2)
+        _bd, b_band = random_band(rng, 6, 2, 0)
+        result = HexagonalArray(3, 3).run(a_band, b_band)
+        expected = 0
+        for i in range(6):
+            for k in range(i, min(6, i + 3)):
+                expected += min(6, k + 1) - max(0, k - 2)
+        assert result.report.mac_operations == expected
+
+    def test_cell_busy_counts_sum_to_macs(self, rng):
+        _ad, a_band = random_band(rng, 6, 0, 2)
+        _bd, b_band = random_band(rng, 6, 2, 0)
+        result = HexagonalArray(3, 3).run(a_band, b_band)
+        assert sum(result.cell_busy.values()) == result.report.mac_operations
+        # No cell index falls outside the w1 x w2 array.
+        for (u, v) in result.cell_busy:
+            assert 0 <= u <= 2 and -2 <= v <= 0
+
+    def test_utilization_below_one_third_plus_epsilon(self, rng):
+        _ad, a_band = random_band(rng, 20, 0, 2)
+        _bd, b_band = random_band(rng, 20, 2, 0)
+        result = HexagonalArray(3, 3).run(a_band, b_band)
+        assert result.utilization <= 1.0 / 3.0 + 1e-9
+
+    def test_token_windows_are_consistent(self, rng):
+        _ad, a_band = random_band(rng, 5, 0, 1)
+        _bd, b_band = random_band(rng, 5, 1, 0)
+        array = HexagonalArray(2, 2)
+        result = array.run(a_band, b_band)
+        for position, entry in result.token_entry.items():
+            assert result.token_exit[position] > entry
+            window = array.c_token_window(a_band, b_band, *position)
+            assert window == (entry, result.token_exit[position])
+
+
+class TestFeedbackTokens:
+    def test_feedback_value_carries_over(self, rng):
+        size, w = 6, 2
+        a_dense, a_band = random_band(rng, size, 0, w - 1)
+        b_dense, b_band = random_band(rng, size, w - 1, 0)
+        # Feed the output of token (0, 0) into token (2, 2): the late token
+        # then accumulates its own products on top of the early result.
+        plan = CTokenPlan()
+        plan.sources[(0, 0)] = ExternalSource(value=2.5)
+        plan.sources[(2, 2)] = HexFeedbackSource(source_row=0, source_col=0)
+        result = HexagonalArray(w, w).run(a_band, b_band, c_plan=plan)
+        product = a_dense @ b_dense
+        assert result.c_band.get(0, 0) == pytest.approx(product[0, 0] + 2.5)
+        assert result.c_band.get(2, 2) == pytest.approx(
+            product[2, 2] + product[0, 0] + 2.5
+        )
+
+    def test_feedback_delay_is_recorded(self, rng):
+        size, w = 6, 2
+        _ad, a_band = random_band(rng, size, 0, w - 1)
+        _bd, b_band = random_band(rng, size, w - 1, 0)
+        plan = CTokenPlan()
+        plan.sources[(2, 2)] = HexFeedbackSource(source_row=0, source_col=0)
+        result = HexagonalArray(w, w).run(a_band, b_band, c_plan=plan)
+        assert (2, 2) in result.feedback_delays
+        assert result.feedback_delays[(2, 2)] > 0
+
+    def test_infeasible_feedback_raises(self, rng):
+        size, w = 6, 2
+        _ad, a_band = random_band(rng, size, 0, w - 1)
+        _bd, b_band = random_band(rng, size, w - 1, 0)
+        plan = CTokenPlan()
+        # Token (0, 0) cannot start from the output of a much later token.
+        plan.sources[(0, 0)] = HexFeedbackSource(source_row=5, source_col=5)
+        with pytest.raises(FeedbackError):
+            HexagonalArray(w, w).run(a_band, b_band, c_plan=plan)
+
+    def test_feedback_from_nonexistent_token_raises(self, rng):
+        size, w = 4, 2
+        _ad, a_band = random_band(rng, size, 0, w - 1)
+        _bd, b_band = random_band(rng, size, w - 1, 0)
+        plan = CTokenPlan()
+        plan.sources[(3, 3)] = HexFeedbackSource(source_row=0, source_col=3)
+        with pytest.raises(FeedbackError):
+            HexagonalArray(w, w).run(a_band, b_band, c_plan=plan)
+
+    def test_plan_from_band_skips_zeros(self, rng):
+        _ed, e_band = random_band(rng, 4, 1, 1)
+        e_band.set(0, 0, 0.0)
+        plan = CTokenPlan.from_band(e_band)
+        assert (0, 0) not in plan.sources
+        assert all(isinstance(s, ExternalSource) for s in plan.sources.values())
+
+
+class TestResultObject:
+    def test_result_type_and_report(self, rng):
+        _ad, a_band = random_band(rng, 4, 0, 1)
+        _bd, b_band = random_band(rng, 4, 1, 0)
+        result = HexagonalArray(2, 2).run(a_band, b_band, useful_operations=10)
+        assert isinstance(result, HexRunResult)
+        assert result.report.useful_operations == 10
+        assert result.effective_utilization <= result.utilization

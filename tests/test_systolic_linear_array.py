@@ -1,0 +1,243 @@
+"""Unit tests for the cycle-accurate linear contraflow array simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ArraySizeError, FeedbackError, ScheduleError, ShapeError
+from repro.matrices.banded import BandMatrix
+from repro.systolic.feedback import ExternalSource, FeedbackSource
+from repro.systolic.linear_array import (
+    LinearContraflowArray,
+    LinearProblem,
+    LinearRunResult,
+)
+
+
+def upper_band_problem(rng, rows, w, x=None, b=None):
+    """A random upper-band problem of bandwidth w with external initial values."""
+    cols = rows + w - 1
+    dense = np.zeros((rows, cols))
+    for i in range(rows):
+        dense[i, i : i + w] = rng.uniform(-1.0, 1.0, size=w)
+    band = BandMatrix.from_dense(dense, lower=0, upper=w - 1)
+    x = rng.uniform(-1.0, 1.0, size=cols) if x is None else x
+    b = np.zeros(rows) if b is None else b
+    sources = [ExternalSource(value=float(b[i]), tag=("b", i)) for i in range(rows)]
+    return dense, band, x, LinearProblem(band=band, x=x, y_sources=sources)
+
+
+class TestProblemValidation:
+    def test_x_length_must_match(self, rng):
+        _dense, band, _x, _problem = upper_band_problem(rng, 4, 3)
+        with pytest.raises(ShapeError):
+            LinearProblem(band=band, x=np.ones(3), y_sources=[ExternalSource(0.0)] * 4)
+
+    def test_y_sources_length_must_match(self, rng):
+        _dense, band, x, _problem = upper_band_problem(rng, 4, 3)
+        with pytest.raises(ShapeError):
+            LinearProblem(band=band, x=x, y_sources=[ExternalSource(0.0)] * 3)
+
+    def test_tag_lengths_must_match(self, rng):
+        _dense, band, x, _problem = upper_band_problem(rng, 4, 3)
+        with pytest.raises(ShapeError):
+            LinearProblem(
+                band=band, x=x, y_sources=[ExternalSource(0.0)] * 4, x_tags=[("x", 0)]
+            )
+        with pytest.raises(ShapeError):
+            LinearProblem(
+                band=band,
+                x=x,
+                y_sources=[ExternalSource(0.0)] * 4,
+                output_tags=[("y", 0)],
+            )
+
+    def test_array_size_must_equal_bandwidth(self, rng):
+        _dense, _band, _x, problem = upper_band_problem(rng, 4, 3)
+        with pytest.raises(ArraySizeError):
+            LinearContraflowArray(4).run(problem)
+
+
+class TestBandMatVecCorrectness:
+    @pytest.mark.parametrize("rows,w", [(3, 2), (5, 3), (8, 4), (6, 1), (10, 5)])
+    def test_upper_band_products(self, rng, rows, w):
+        dense, _band, x, problem = upper_band_problem(rng, rows, w)
+        result = LinearContraflowArray(w).run(problem)
+        assert np.allclose(result.y, dense @ x)
+
+    def test_initial_values_are_added(self, rng):
+        b = rng.uniform(-1, 1, 5)
+        dense, _band, x, problem = upper_band_problem(rng, 5, 3, b=b)
+        result = LinearContraflowArray(3).run(problem)
+        assert np.allclose(result.y, dense @ x + b)
+
+    def test_general_band_with_sub_and_super_diagonals(self, rng):
+        rows = 7
+        dense = np.zeros((rows, rows))
+        for i in range(rows):
+            for j in range(max(0, i - 1), min(rows, i + 2)):
+                dense[i, j] = rng.uniform(-1.0, 1.0)
+        band = BandMatrix.from_dense(dense, lower=1, upper=1)
+        x = rng.uniform(-1, 1, rows)
+        problem = LinearProblem(
+            band=band,
+            x=x,
+            y_sources=[ExternalSource(0.0) for _ in range(rows)],
+        )
+        result = LinearContraflowArray(3).run(problem)
+        assert np.allclose(result.y, dense @ x)
+
+    def test_single_cell_array(self, rng):
+        dense = np.diag(rng.uniform(1, 2, 4))
+        band = BandMatrix.from_dense(dense, lower=0, upper=0)
+        x = rng.uniform(-1, 1, 4)
+        problem = LinearProblem(
+            band=band, x=x, y_sources=[ExternalSource(0.0)] * 4
+        )
+        result = LinearContraflowArray(1).run(problem)
+        assert np.allclose(result.y, dense @ x)
+
+
+class TestTimingAndMetrics:
+    def test_step_count_matches_kung_formula(self, rng):
+        # For an upper band with N rows and bandwidth w the schedule spans
+        # 2N + 2w - 3 steps (first input to last computation, inclusive).
+        for rows, w in [(4, 2), (6, 3), (9, 3), (8, 4)]:
+            _dense, _band, _x, problem = upper_band_problem(rng, rows, w)
+            result = LinearContraflowArray(w).run(problem)
+            assert result.total_cycles == 2 * rows + 2 * w - 3
+
+    def test_mac_count_equals_band_positions(self, rng):
+        _dense, band, _x, problem = upper_band_problem(rng, 6, 3)
+        result = LinearContraflowArray(3).run(problem)
+        assert result.report.mac_operations == band.band_positions()
+        assert sum(result.cell_mac_counts) == band.band_positions()
+
+    def test_utilization_definition(self, rng):
+        _dense, band, _x, problem = upper_band_problem(rng, 6, 3)
+        result = LinearContraflowArray(3).run(problem)
+        expected = band.band_positions() / (3 * result.total_cycles)
+        assert result.utilization == pytest.approx(expected)
+
+    def test_output_stream_is_tagged_and_ordered(self, rng):
+        rows, w = 5, 3
+        _dense, band, x, _p = upper_band_problem(rng, rows, w)
+        problem = LinearProblem(
+            band=band,
+            x=x,
+            y_sources=[ExternalSource(0.0, tag=("b", i)) for i in range(rows)],
+            output_tags=[("y", i) for i in range(rows)],
+        )
+        result = LinearContraflowArray(w).run(problem)
+        tags = [item.tag for item in result.output_stream]
+        assert tags == [("y", i) for i in range(rows)]
+        # Outputs are produced every other cycle.
+        cycles = result.output_stream.cycles()
+        assert all(b - a == 2 for a, b in zip(cycles, cycles[1:]))
+
+    def test_trace_recording_optional(self, rng):
+        _dense, _band, _x, problem = upper_band_problem(rng, 4, 2)
+        without = LinearContraflowArray(2).run(problem)
+        assert without.trace is None
+        with_trace = LinearContraflowArray(2, record_trace=True).run(problem)
+        assert with_trace.trace is not None
+        assert set(with_trace.trace.rows) == {"x in", "y out", "y/b in"}
+
+
+class TestFeedback:
+    def feedback_problem(self, rng, w=3):
+        """Two chained block rows: the second starts from the first's output."""
+        rows = 2 * w
+        cols = rows + w - 1
+        dense = np.zeros((rows, cols))
+        for i in range(rows):
+            dense[i, i : i + w] = rng.uniform(-1.0, 1.0, size=w)
+        band = BandMatrix.from_dense(dense, lower=0, upper=w - 1)
+        x = rng.uniform(-1.0, 1.0, size=cols)
+        b = rng.uniform(-1.0, 1.0, size=w)
+        sources = [ExternalSource(value=float(b[i]), tag=("b", i)) for i in range(w)]
+        sources += [FeedbackSource(tag=("y", i, 0)) for i in range(w)]
+        problem = LinearProblem(band=band, x=x, y_sources=sources)
+        return dense, band, x, b, problem
+
+    def test_feedback_accumulates_partial_results(self, rng):
+        dense, _band, x, b, problem = self.feedback_problem(rng)
+        result = LinearContraflowArray(3).run(problem)
+        # Row i of the second block row accumulates its own products plus the
+        # output of row i of the first block row (which started from b).
+        expected_first = dense[:3] @ x + b
+        expected_second = dense[3:] @ x + expected_first
+        assert np.allclose(result.y[:3], expected_first)
+        assert np.allclose(result.y[3:], expected_second)
+
+    def test_feedback_delay_equals_array_size(self, rng):
+        for w in (2, 3, 4, 5):
+            _d, _b, _x, _bb, problem = self.feedback_problem(rng, w)
+            result = LinearContraflowArray(w).run(problem)
+            delays = result.feedback_delays()
+            assert len(delays) == w
+            assert set(delays) == {w}
+
+    def test_feedback_register_occupancy_stays_within_w(self, rng):
+        _d, _b, _x, _bb, problem = self.feedback_problem(rng, 4)
+        result = LinearContraflowArray(4).run(problem)
+        assert result.feedback_register_peak <= 4
+
+    def test_feedback_without_preceding_output_fails(self, rng):
+        # A problem whose very first row asks for feedback is infeasible.
+        dense = np.zeros((2, 3))
+        dense[0, :2] = 1.0
+        dense[1, 1:] = 1.0
+        band = BandMatrix.from_dense(dense, lower=0, upper=1)
+        problem = LinearProblem(
+            band=band,
+            x=np.ones(3),
+            y_sources=[FeedbackSource(), ExternalSource(0.0)],
+        )
+        with pytest.raises(FeedbackError):
+            LinearContraflowArray(2).run(problem)
+
+
+class TestOverlappedExecution:
+    def test_two_problems_share_the_array(self, rng):
+        dense1, _b1, x1, problem1 = upper_band_problem(rng, 6, 3)
+        dense2, _b2, x2, problem2 = upper_band_problem(rng, 6, 3)
+        result = LinearContraflowArray(3).run_overlapped([problem1, problem2])
+        assert np.allclose(result.y_per_problem[0], dense1 @ x1)
+        assert np.allclose(result.y_per_problem[1], dense2 @ x2)
+
+    def test_overlapping_roughly_doubles_utilization(self, rng):
+        _d1, _b1, _x1, problem1 = upper_band_problem(rng, 8, 3)
+        _d2, _b2, _x2, problem2 = upper_band_problem(rng, 8, 3)
+        single = LinearContraflowArray(3).run(problem1)
+        double = LinearContraflowArray(3).run_overlapped([problem1, problem2])
+        assert double.report.utilization > 1.8 * single.report.utilization
+
+    def test_overlapped_takes_one_extra_cycle(self, rng):
+        _d1, _b1, _x1, problem1 = upper_band_problem(rng, 8, 3)
+        _d2, _b2, _x2, problem2 = upper_band_problem(rng, 8, 3)
+        single = LinearContraflowArray(3).run(problem1)
+        double = LinearContraflowArray(3).run_overlapped([problem1, problem2])
+        assert double.total_cycles == single.total_cycles + 1
+
+    def test_more_than_two_problems_rejected(self, rng):
+        problems = [upper_band_problem(rng, 4, 2)[3] for _ in range(3)]
+        with pytest.raises(ScheduleError):
+            LinearContraflowArray(2).run_overlapped(problems)
+
+    def test_single_problem_through_overlapped_api(self, rng):
+        dense, _band, x, problem = upper_band_problem(rng, 4, 2)
+        result = LinearContraflowArray(2).run_overlapped([problem])
+        assert np.allclose(result.y, dense @ x)
+
+
+class TestResultObject:
+    def test_result_fields(self, rng):
+        _dense, _band, _x, problem = upper_band_problem(rng, 4, 2)
+        result = LinearContraflowArray(2).run(problem)
+        assert isinstance(result, LinearRunResult)
+        assert result.size == 2
+        assert result.first_input_cycle == 0
+        assert result.last_output_cycle > 0
+        assert result.effective_utilization <= result.utilization + 1e-12

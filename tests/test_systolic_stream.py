@@ -1,0 +1,90 @@
+"""Unit tests for ``repro.systolic.stream``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.systolic.stream import DataStream, ScheduledValue
+
+
+class TestScheduledValue:
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ScheduleError):
+            ScheduledValue(cycle=-1, value=1.0)
+
+    def test_carries_tag(self):
+        value = ScheduledValue(cycle=3, value=2.0, tag=("x", 1))
+        assert value.tag == ("x", 1)
+
+
+class TestDataStream:
+    def test_schedule_and_get(self):
+        stream = DataStream("x in")
+        stream.schedule(4, 1.5, tag=("x", 0))
+        item = stream.get(4)
+        assert item is not None
+        assert item.value == 1.5
+        assert stream.get(5) is None
+        assert 4 in stream and 5 not in stream
+
+    def test_double_booking_raises(self):
+        stream = DataStream()
+        stream.schedule(2, 1.0)
+        with pytest.raises(ScheduleError):
+            stream.schedule(2, 3.0)
+
+    def test_iteration_is_cycle_ordered(self):
+        stream = DataStream()
+        stream.schedule(6, 3.0)
+        stream.schedule(2, 1.0)
+        stream.schedule(4, 2.0)
+        assert [item.cycle for item in stream] == [2, 4, 6]
+        assert stream.values() == [1.0, 2.0, 3.0]
+        assert stream.cycles() == [2, 4, 6]
+
+    def test_first_last_and_len(self):
+        stream = DataStream()
+        assert stream.first_cycle is None and stream.last_cycle is None
+        stream.schedule(3, 1.0)
+        stream.schedule(9, 2.0)
+        assert stream.first_cycle == 3
+        assert stream.last_cycle == 9
+        assert len(stream) == 2
+
+    def test_tag_filtering(self):
+        stream = DataStream()
+        stream.schedule(0, 1.0, tag=("x", 0))
+        stream.schedule(1, 2.0, tag=("y", 0))
+        stream.schedule(2, 3.0, tag=("x", 1))
+        stream.schedule(3, 4.0)
+        xs = stream.tagged("x")
+        assert [item.value for item in xs] == [1.0, 3.0]
+        assert len(stream.tagged()) == 4
+        assert stream.find_tag(("y", 0)).value == 2.0
+        assert stream.find_tag(("z", 9)) is None
+
+    def test_as_pairs(self):
+        stream = DataStream()
+        stream.schedule(1, 5.0)
+        stream.schedule(0, 4.0)
+        assert stream.as_pairs() == [(0, 4.0), (1, 5.0)]
+
+    def test_shifted_preserves_values(self):
+        stream = DataStream("a")
+        stream.schedule(0, 1.0, tag=("x", 0))
+        stream.schedule(2, 2.0)
+        shifted = stream.shifted(5)
+        assert shifted.cycles() == [5, 7]
+        assert shifted.get(5).tag == ("x", 0)
+
+    def test_merged_with_detects_collisions(self):
+        first = DataStream("a")
+        second = DataStream("b")
+        first.schedule(0, 1.0)
+        second.schedule(1, 2.0)
+        merged = first.merged_with(second)
+        assert merged.cycles() == [0, 1]
+        second.schedule(0, 3.0)
+        with pytest.raises(ScheduleError):
+            first.merged_with(second)
