@@ -3,7 +3,8 @@
 The situation the paper opens with is an installed array of fixed size that
 has to serve "several similar problems with dimensional variations".  This
 example takes a small mixed workload of dense matrix-vector products and
-sweeps the array size ``w``, reporting for every candidate:
+sweeps the array size ``w`` — one :class:`repro.Solver` per candidate —
+reporting for every candidate:
 
 * the total number of array steps across the workload,
 * the average PE utilization (with and without overlapping), and
@@ -19,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import SizeIndependentMatVec, matvec_steps, matvec_utilization
+from repro import ArraySpec, Solver, matvec_steps, matvec_utilization
 from repro.matrices.padding import block_count
 
 
@@ -43,6 +44,7 @@ def main() -> None:
     print("-" * len(header))
 
     for w in (2, 3, 4, 5, 6, 8):
+        solver = Solver(ArraySpec(w=w))
         plain_steps = 0
         overlapped_steps = 0
         utilizations = []
@@ -50,14 +52,16 @@ def main() -> None:
         padded_elements = 0
         original_elements = 0
         for matrix, x in zip(workload, vectors):
-            solution = SizeIndependentMatVec(w).solve(matrix, x)
-            assert np.allclose(solution.y, matrix @ x)
+            solution = solver.solve("matvec", matrix, x)
+            assert np.allclose(solution.values, matrix @ x)
             plain_steps += solution.measured_steps
             utilizations.append(solution.measured_utilization)
 
             n_bar = block_count(matrix.shape[0], w)
             if n_bar >= 2:
-                overlapped = SizeIndependentMatVec(w, overlapped=True).solve(matrix, x)
+                overlapped = solver.solve(
+                    "matvec", matrix, x, options=solver.options.merged(overlapped=True)
+                )
                 overlapped_steps += overlapped.measured_steps
                 overlapped_utilizations.append(overlapped.measured_utilization)
             else:

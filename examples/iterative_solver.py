@@ -4,7 +4,8 @@ The paper closes by listing the problems the same methodology handles:
 triangular systems, the Gauss-Seidel iteration, LU decomposition and
 inverses.  This example builds the classic 1-D steady-state heat equation
 (a diagonally dominant tridiagonal-plus-coupling system), solves it three
-ways on a single 3-cell / 3x3-cell array pair —
+ways through one :class:`repro.Solver` on a single 3-cell / 3x3-cell
+array pair —
 
 * Gauss-Seidel iteration (matrix-vector products on the linear array),
 * blocked LU factorization followed by triangular solves (trailing updates
@@ -20,7 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.extensions import SystolicGaussSeidel, SystolicLU, SystolicTriangularSolver
+from repro import ArraySpec, ExecutionOptions, Solver
+from repro.extensions import SystolicLU
 
 
 def heat_system(points: int, conductivity: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
@@ -44,36 +46,41 @@ def main() -> None:
     points = 12
     matrix, rhs = heat_system(points)
     exact = np.linalg.solve(matrix, rhs)
+    solver = Solver(ArraySpec(w=w))
 
     print(f"1-D heat equation with {points} interior points, array size w={w}")
     print("=" * 70)
 
     print("\n[1] Gauss-Seidel iteration (products on the linear array)")
-    gauss_seidel = SystolicGaussSeidel(w, tolerance=1e-10, max_iterations=500)
-    gs = gauss_seidel.solve(matrix, rhs)
-    print(f"    converged: {gs.converged} after {gs.iterations} sweeps")
-    print(f"    final residual: {gs.residual_norm:.2e}")
-    print(f"    array steps spent: {gs.array_steps}")
-    print(f"    max |error| vs direct solve: {np.max(np.abs(gs.x - exact)):.2e}")
+    gs = solver.solve(
+        "gauss_seidel",
+        matrix,
+        rhs,
+        options=ExecutionOptions(gs_tolerance=1e-10, gs_max_iterations=500),
+    )
+    print(f"    converged: {gs.stats['converged']} after {gs.stats['iterations']} sweeps")
+    print(f"    final residual: {gs.stats['residual_norm']:.2e}")
+    print(f"    array steps spent: {gs.measured_steps}")
+    print(f"    max |error| vs direct solve: {np.max(np.abs(gs.values - exact)):.2e}")
 
     print("\n[2] Blocked LU + triangular solves (updates on the hexagonal array)")
-    lu = SystolicLU(w)
-    factorization = lu.factor(matrix)
-    print(f"    ||A - L U|| = {factorization.residual(matrix):.2e}")
-    print(f"    trailing updates on the array: {factorization.update_calls}, "
-          f"array share of arithmetic: {factorization.array_share:.2f}")
-    triangular = SystolicTriangularSolver(w)
-    forward = triangular.solve_lower(factorization.l, rhs)
-    backward = triangular.solve_upper(factorization.u, forward.x)
-    print(f"    max |error| vs direct solve: {np.max(np.abs(backward.x - exact)):.2e}")
+    factorization = solver.solve("lu", matrix)
+    lower, upper = factorization.values
+    print(f"    ||A - L U|| = {factorization.stats['residual_norm']:.2e}")
+    print(f"    trailing updates on the array: {factorization.stats['update_calls']}, "
+          f"array share of arithmetic: {factorization.stats['array_share']:.2f}")
+    forward = solver.solve("triangular", lower, rhs, lower=True)
+    backward = solver.solve("triangular", upper, forward.values, lower=False)
+    print(f"    max |error| vs direct solve: {np.max(np.abs(backward.values - exact)):.2e}")
 
     print("\n[3] Explicit inverse (LU + triangular inverses + one matrix product)")
-    inverse = lu.invert(matrix)
+    inverse = SystolicLU(w).invert(matrix)
     solution = inverse.inverse @ rhs
     print(f"    ||A^-1 A - I|| = {np.linalg.norm(inverse.inverse @ matrix - np.eye(points)):.2e}")
     print(f"    array share of arithmetic: {inverse.array_share:.2f}")
     print(f"    max |error| vs direct solve: {np.max(np.abs(solution - exact)):.2e}")
 
+    print(f"\nplan cache after the three strategies: {solver.cache_stats}")
     print("\nTemperature profile (direct solve):")
     bar_scale = 40.0 / exact.max()
     for i, temperature in enumerate(exact):

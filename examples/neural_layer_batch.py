@@ -5,27 +5,45 @@ product ``Y = W X + B`` — weights times activations plus a broadcast bias —
 which is exactly the ``C = A B + E`` operation Section 3 of the paper maps
 onto the w x w hexagonal array.  Layer widths and batch sizes change from
 model to model; the array size does not.  This example pushes a small
-multi-layer perceptron through one and the same 3x3 array, using the DBT
-matrix-matrix pipeline for every layer, and reports the array occupancy.
+multi-layer perceptron through one and the same 3x3 array via the
+``repro.api`` solver façade, then runs a second forward pass to show the
+plan cache serving every layer shape warm.
 
 Run with:  python examples/neural_layer_batch.py
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro import SizeIndependentMatMul
+from repro import ArraySpec, Solver
 
 
 def relu(values: np.ndarray) -> np.ndarray:
     return np.maximum(values, 0.0)
 
 
+def forward_pass(solver, weights, biases, activations, batch):
+    """One full forward pass on the array; returns (output, total steps)."""
+    simulated = activations
+    total_steps = 0
+    layer_rows = []
+    for index, (w_matrix, bias) in enumerate(zip(weights, biases)):
+        bias_block = np.tile(bias[:, None], (1, batch))
+        solution = solver.solve("matmul", w_matrix, simulated, bias_block)
+        total_steps += solution.measured_steps
+        layer_rows.append((index, w_matrix.shape, solution))
+        is_output_layer = index == len(weights) - 1
+        simulated = solution.values if is_output_layer else relu(solution.values)
+    return simulated, total_steps, layer_rows
+
+
 def main() -> None:
     rng = np.random.default_rng(3)
     w = 3
-    array = SizeIndependentMatMul(w)
+    solver = Solver(ArraySpec(w=w))
 
     batch = 7                      # number of samples processed at once
     layer_sizes = [11, 8, 5, 2]    # input features -> hidden -> hidden -> output
@@ -40,33 +58,44 @@ def main() -> None:
     print(f"3-layer perceptron, batch of {batch}, on one {w}x{w} hexagonal array")
     print("-" * 78)
     print(f"{'layer':>5} {'weights':>10} {'steps':>7} {'paper T':>8} "
-          f"{'utilization':>12} {'paper eta':>10} {'max error':>10}")
+          f"{'utilization':>12} {'paper eta':>10} {'cached':>7}")
 
-    reference = activations
-    simulated = activations
-    total_steps = 0
-    for index, (w_matrix, bias) in enumerate(zip(weights, biases)):
-        bias_block = np.tile(bias[:, None], (1, batch))
-
-        solution = array.solve(w_matrix, simulated, bias_block)
-        expected = w_matrix @ reference + bias_block
-        error = float(np.max(np.abs(solution.c - expected)))
-        total_steps += solution.measured_steps
-
+    start = time.perf_counter()
+    simulated, total_steps, layer_rows = forward_pass(
+        solver, weights, biases, activations, batch
+    )
+    cold_time = time.perf_counter() - start
+    for index, shape, solution in layer_rows:
         print(
-            f"{index:>5} {str(w_matrix.shape):>10} {solution.measured_steps:>7} "
+            f"{index:>5} {str(shape):>10} {solution.measured_steps:>7} "
             f"{solution.predicted_steps:>8} {solution.measured_utilization:>12.3f} "
-            f"{solution.predicted_utilization:>10.3f} {error:>10.2e}"
+            f"{solution.predicted_utilization:>10.3f} {str(solution.from_cache):>7}"
         )
 
-        is_output_layer = index == len(weights) - 1
-        reference = expected if is_output_layer else relu(expected)
-        simulated = solution.c if is_output_layer else relu(solution.c)
+    # NumPy reference forward pass.
+    reference = activations
+    for index, (w_matrix, bias) in enumerate(zip(weights, biases)):
+        reference = w_matrix @ reference + bias[:, None]
+        if index != len(weights) - 1:
+            reference = relu(reference)
 
     print("-" * 78)
     print(f"total array steps for the forward pass: {total_steps}")
     final_error = float(np.max(np.abs(simulated - reference)))
     print(f"end-to-end max |error| vs NumPy forward pass: {final_error:.2e}")
+    print()
+
+    # Second inference: every layer shape now has a cached execution plan.
+    start = time.perf_counter()
+    _, _, warm_rows = forward_pass(
+        solver, weights, biases, rng.normal(size=(layer_sizes[0], batch)), batch
+    )
+    warm_time = time.perf_counter() - start
+    assert all(solution.from_cache for _, _, solution in warm_rows)
+    print(f"second forward pass: all layers served from the plan cache")
+    print(f"  cold pass {cold_time * 1e3:.1f} ms, warm pass {warm_time * 1e3:.1f} ms "
+          f"({cold_time / warm_time:.2f}x)")
+    print(f"  {solver.cache_stats}")
     print()
     print("Every layer, whatever its shape, ran on the same 9 processing elements;")
     print("the bias entered through the array's C ports and all partial products")

@@ -1,13 +1,14 @@
-"""Quickstart: size-independent matrix problems on a fixed-size systolic array.
+"""Quickstart: the unified plan/execute solver façade.
 
-This script shows the two public pipelines of the library on small dense
-problems whose dimensions have nothing to do with the array size:
+This script shows the ``repro.api`` front door on small dense problems
+whose dimensions have nothing to do with the array size:
 
-* ``y = A x + b`` on the w-cell linear contraflow array, and
+* ``y = A x + b`` on the w-cell linear contraflow array,
+* the same problem with the paper's overlapping optimization,
 * ``C = A B + E`` on the w x w hexagonal array,
 
-both transformed with the paper's DBT scheme so that every partial result
-is fed back into the array and nothing is computed on the host.
+all through one :class:`repro.Solver`, with the plan cache turning the
+second same-shape solve into a values-only execution.
 
 Run with:  python examples/quickstart.py
 """
@@ -16,12 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import SizeIndependentMatMul, SizeIndependentMatVec
+from repro import ArraySpec, Solver
 
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    w = 4  # the (fixed) systolic array size
+    solver = Solver(ArraySpec(w=4))  # the (fixed) systolic array size
 
     print("=" * 72)
     print("Matrix-vector multiplication: y = A x + b on a 4-cell linear array")
@@ -31,19 +32,28 @@ def main() -> None:
     x = rng.normal(size=7)
     b = rng.normal(size=10)
 
-    solver = SizeIndependentMatVec(w)
-    solution = solver.solve(a, x, b)
-    assert np.allclose(solution.y, a @ x + b)
-
+    solution = solver.solve("matvec", a, x, b)
+    assert np.allclose(solution.values, a @ x + b)
     print(solution.summary())
-    print(f"  max |error| vs NumPy: {np.max(np.abs(solution.y - (a @ x + b))):.2e}")
+    print(f"  max |error| vs NumPy: {np.max(np.abs(solution.values - (a @ x + b))):.2e}")
+    print()
+
+    print("=" * 72)
+    print("Same shape again: the cached plan skips all transform construction")
+    print("=" * 72)
+    again = solver.solve("matvec", rng.normal(size=(10, 7)), rng.normal(size=7))
+    assert again.from_cache
+    print(again.summary())
+    print(f"  plan cache: {solver.cache_stats}")
     print()
 
     print("=" * 72)
     print("The same problem with overlapping (two halves share the idle cycles)")
     print("=" * 72)
-    overlapped = SizeIndependentMatVec(w, overlapped=True).solve(a, x, b)
-    assert np.allclose(overlapped.y, a @ x + b)
+    overlapped = solver.solve(
+        "matvec", a, x, b, options=solver.options.merged(overlapped=True)
+    )
+    assert np.allclose(overlapped.values, a @ x + b)
     print(overlapped.summary())
     print()
 
@@ -54,11 +64,24 @@ def main() -> None:
     b2 = rng.normal(size=(9, 5))
     e2 = rng.normal(size=(6, 5))
 
-    matmul = SizeIndependentMatMul(w)
-    product = matmul.solve(a2, b2, e2)
-    assert np.allclose(product.c, a2 @ b2 + e2)
+    product = solver.solve("matmul", a2, b2, e2)
+    assert np.allclose(product.values, a2 @ b2 + e2)
     print(product.summary())
-    print(f"  max |error| vs NumPy: {np.max(np.abs(product.c - (a2 @ b2 + e2))):.2e}")
+    print(f"  max |error| vs NumPy: {np.max(np.abs(product.values - (a2 @ b2 + e2))):.2e}")
+    print()
+
+    print("=" * 72)
+    print("Batching: pairs of requests interleave on the idle contraflow cycles")
+    print("=" * 72)
+    batch = [(rng.normal(size=(10, 7)), rng.normal(size=7)) for _ in range(4)]
+    results = solver.solve_batch("matvec", batch)
+    for (matrix, vector), result in zip(batch, results):
+        assert np.allclose(result.values, matrix @ vector)
+    pair_steps = results[0].measured_steps
+    solo_steps = solver.solve("matvec", *batch[0]).measured_steps
+    print(f"  4 requests, one cached plan; a paired run takes {pair_steps} steps")
+    print(f"  where two sequential runs would take {2 * solo_steps}.")
+    print(f"  every kind available through this façade: {', '.join(solver.kinds())}")
 
 
 if __name__ == "__main__":

@@ -3,14 +3,15 @@
 Signal processing was the application domain that motivated the contraflow
 arrays the paper builds on (Priester et al. 1981, reference /6/).  An FIR
 filter of length ``taps`` applied to a signal of length ``N`` is the
-matrix-vector product of an ``N x (N + taps - 1)``-ish convolution matrix
-with the padded signal — a *dense-band* matrix whose dimensions are set by
-the workload, not by the hardware.
+matrix-vector product of a convolution matrix with the signal — a matrix
+whose dimensions are set by the workload, not by the hardware.
 
 A real array has a fixed number of cells.  This example filters signals of
 several lengths, with several filter lengths, on one and the same 5-cell
-array, using the DBT transformation to adapt every problem to the array,
-and compares the utilization with what the naive block strategy achieves.
+array through the :class:`repro.Solver` façade, compares the utilization
+with the naive block strategy (also a registered kind), and closes with a
+*batch* of same-length signals: one cached plan, pairs of requests
+interleaved on the idle contraflow cycles.
 
 Run with:  python examples/signal_processing_fir.py
 """
@@ -19,8 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import SizeIndependentMatVec
-from repro.baselines import NaiveBlockMatVec
+from repro import ArraySpec, Solver
 
 
 def convolution_matrix(kernel: np.ndarray, signal_length: int) -> np.ndarray:
@@ -36,8 +36,7 @@ def convolution_matrix(kernel: np.ndarray, signal_length: int) -> np.ndarray:
 def main() -> None:
     rng = np.random.default_rng(42)
     w = 5  # the array has five cells, full stop
-    array = SizeIndependentMatVec(w)
-    naive = NaiveBlockMatVec(w)
+    solver = Solver(ArraySpec(w=w))
 
     print(f"One {w}-cell linear contraflow array, many FIR filtering problems")
     print("-" * 76)
@@ -55,15 +54,15 @@ def main() -> None:
         kernel = np.hamming(taps) / np.hamming(taps).sum()
         matrix = convolution_matrix(kernel, signal_length)
 
-        solution = array.solve(matrix, signal)
+        solution = solver.solve("matvec", matrix, signal)
         reference = np.convolve(signal, kernel, mode="valid")
-        error = float(np.max(np.abs(solution.y - reference)))
+        error = float(np.max(np.abs(solution.values - reference)))
 
-        baseline = naive.solve(matrix, signal)
+        baseline = solver.solve("naive_matvec", matrix, signal)
         print(
             f"{signal_length:>8} {taps:>6} {matrix.shape[0]:>8} "
             f"{solution.measured_steps:>7} {solution.measured_utilization:>9.3f} "
-            f"{baseline.utilization:>11.3f} {error:>10.2e}"
+            f"{baseline.measured_utilization:>11.3f} {error:>10.2e}"
         )
 
     print("-" * 76)
@@ -75,13 +74,31 @@ def main() -> None:
     signal = rng.normal(size=96)
     kernel = np.hamming(8) / np.hamming(8).sum()
     matrix = convolution_matrix(kernel, 96)
-    overlapped = SizeIndependentMatVec(w, overlapped=True).solve(matrix, signal)
+    plain = solver.solve("matvec", matrix, signal)
+    overlapped = solver.solve(
+        "matvec", matrix, signal, options=solver.options.merged(overlapped=True)
+    )
     reference = np.convolve(signal, kernel, mode="valid")
-    assert np.allclose(overlapped.y, reference)
+    assert np.allclose(overlapped.values, reference)
     print(
         f"  steps {overlapped.measured_steps} "
-        f"(vs {array.solve(matrix, signal).measured_steps} without overlapping), "
+        f"(vs {plain.measured_steps} without overlapping), "
         f"utilization {overlapped.measured_utilization:.3f}"
+    )
+
+    print()
+    print("Streaming batch: 6 same-length signals, one cached plan, paired runs:")
+    signals = [rng.normal(size=96) for _ in range(6)]
+    results = solver.solve_batch(
+        "matvec", [(matrix, entry) for entry in signals]
+    )
+    for entry, result in zip(signals, results):
+        assert np.allclose(result.values, np.convolve(entry, kernel, mode="valid"))
+    paired = sum(1 for result in results if result.stats.get("paired"))
+    print(
+        f"  {paired}/{len(results)} requests ran pairwise-overlapped; "
+        f"a paired run spans {results[0].measured_steps} steps vs "
+        f"{2 * plain.measured_steps} for two sequential runs"
     )
 
 

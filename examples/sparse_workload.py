@@ -7,8 +7,8 @@ that the DBT transformation can be refined to exclude those blocks and cut
 the execution time accordingly.
 
 This example builds the block-tridiagonal matrix of a chain of coupled
-subsystems, runs it through the plain DBT pipeline and through the
-block-sparse variant on the same 3-cell array, and reports the saving.
+subsystems and runs it through both the dense ``matvec`` kind and the
+``sparse`` kind of the same :class:`repro.Solver`, reporting the saving.
 
 Run with:  python examples/sparse_workload.py
 """
@@ -17,8 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import SizeIndependentMatVec
-from repro.extensions import BlockSparseMatVec
+from repro import ArraySpec, Solver
 
 
 def block_tridiagonal(rng: np.random.Generator, blocks: int, w: int) -> np.ndarray:
@@ -36,6 +35,7 @@ def block_tridiagonal(rng: np.random.Generator, blocks: int, w: int) -> np.ndarr
 def main() -> None:
     rng = np.random.default_rng(9)
     w = 3
+    solver = Solver(ArraySpec(w=w))
 
     print(f"Block-tridiagonal coupling matrices on one {w}-cell linear array")
     print("-" * 74)
@@ -47,17 +47,17 @@ def main() -> None:
         x = rng.normal(size=blocks * w)
         b = rng.normal(size=blocks * w)
 
-        dense = SizeIndependentMatVec(w).solve(matrix, x, b)
-        sparse = BlockSparseMatVec(w).solve(matrix, x, b)
+        dense = solver.solve("matvec", matrix, x, b)
+        sparse = solver.solve("sparse", matrix, x, b)
         reference = matrix @ x + b
-        assert np.allclose(dense.y, reference)
-        assert np.allclose(sparse.y, reference)
+        assert np.allclose(dense.values, reference)
+        assert np.allclose(sparse.values, reference)
 
         print(
             f"{blocks:>11} {str(matrix.shape):>10} "
-            f"{sparse.transform.skipped_block_count:>12} "
+            f"{sparse.stats['skipped_blocks']:>12} "
             f"{dense.measured_steps:>12} {sparse.measured_steps:>13} "
-            f"{sparse.saving:>7.0%}"
+            f"{sparse.stats['saving']:>7.0%}"
         )
 
     print("-" * 74)

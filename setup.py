@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` in environments without the ``wheel``
+package (PEP 660 editable installs need it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -14,18 +14,29 @@ systolic arrays (``repro.systolic``), the matrix infrastructure they share
 (``repro.extensions``), and figure/report regeneration helpers
 (``repro.analysis``).
 
-Quickstart::
+Quickstart (the unified plan/execute façade, ``repro.api``)::
 
     import numpy as np
-    from repro import SizeIndependentMatVec
+    from repro import ArraySpec, Solver
 
+    solver = Solver(ArraySpec(w=4))
     A = np.random.default_rng(0).normal(size=(10, 7))
     x = np.random.default_rng(1).normal(size=7)
-    solution = SizeIndependentMatVec(w=4).solve(A, x)
-    assert np.allclose(solution.y, A @ x)
+    solution = solver.solve("matvec", A, x)
+    assert np.allclose(solution.values, A @ x)
     print(solution.summary())
+
+The one-class-per-problem entry points (``SizeIndependentMatVec``,
+``SizeIndependentMatMul``) remain available as deprecation shims.
 """
 
+from .api import (
+    ArraySpec,
+    ExecutionOptions,
+    ExecutionPlan,
+    Solution,
+    Solver,
+)
 from .core.analytic import (
     MatMulModel,
     MatVecModel,
@@ -57,15 +68,18 @@ from .systolic.feedback import ShiftRegisterFeedback, SpiralFeedbackTopology
 from .systolic.hex_array import HexagonalArray
 from .systolic.linear_array import LinearContraflowArray, LinearProblem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArraySizeError",
+    "ArraySpec",
     "BandMatrix",
     "BandwidthError",
     "BlockGrid",
     "DBTByRowsTransform",
     "DBTTransposedByRowsTransform",
+    "ExecutionOptions",
+    "ExecutionPlan",
     "FeedbackError",
     "HexagonalArray",
     "LinearContraflowArray",
@@ -84,6 +98,8 @@ __all__ = [
     "SimulationError",
     "SizeIndependentMatMul",
     "SizeIndependentMatVec",
+    "Solution",
+    "Solver",
     "SpiralFeedbackTopology",
     "TransformError",
     "__version__",

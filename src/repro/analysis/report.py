@@ -59,6 +59,40 @@ class ExperimentReport:
         self.rows.append(row)
         return row
 
+    @classmethod
+    def from_solution(
+        cls, solution, experiment: str = "", description: str = ""
+    ) -> "ExperimentReport":
+        """Paper-vs-measured rows from a :class:`repro.api.Solution`.
+
+        Adds a steps row and a utilization row whenever the solution
+        carries both the measured value and the paper's closed form, so
+        any kind solved through the :class:`repro.api.Solver` façade can
+        be tabulated the same way as the hand-built benchmarks.
+        """
+        report = cls(
+            experiment=experiment or f"{solution.kind} (w={solution.w})",
+            description=description,
+        )
+        if solution.predicted_steps is not None:
+            report.add(
+                "steps",
+                int(solution.predicted_steps),
+                int(solution.measured_steps),
+                note="paper closed form vs simulator",
+            )
+        if (
+            solution.predicted_utilization is not None
+            and solution.measured_utilization is not None
+        ):
+            report.add(
+                "utilization",
+                float(solution.predicted_utilization),
+                float(solution.measured_utilization),
+                note="paper closed form vs simulator",
+            )
+        return report
+
     @property
     def all_match(self) -> bool:
         return all(row.matches for row in self.rows)

@@ -1,0 +1,52 @@
+"""Unified plan/execute solver façade for the whole package.
+
+This subpackage is the single front door to every workload the
+reproduction implements::
+
+    import numpy as np
+    from repro.api import ArraySpec, Solver
+
+    solver = Solver(ArraySpec(w=4))
+    a = np.random.default_rng(0).normal(size=(10, 7))
+    x = np.random.default_rng(1).normal(size=7)
+
+    solution = solver.solve("matvec", a, x)     # first solve compiles a plan
+    again = solver.solve("matvec", a, x)        # same shape: cache hit
+    assert again.from_cache
+    print(again.summary())
+
+Key pieces:
+
+* :class:`~repro.api.config.ArraySpec` / :class:`~repro.api.config.ExecutionOptions`
+  — the configuration layer replacing the seed's scattered kwargs.
+* :class:`~repro.api.solver.Solver` — registry-dispatched façade over the
+  problem kinds (``matvec``, ``matmul``, ``lu``, ``triangular``,
+  ``gauss_seidel``, ``sparse`` and the comparison baselines), returning
+  the common :class:`~repro.api.solution.Solution` protocol.
+* :meth:`~repro.api.solver.Solver.plan` — the explicit compile step: an
+  immutable, LRU-cached :class:`~repro.api.plan.ExecutionPlan` keyed by
+  ``(kind, shapes, w, options)``; warm solves stream values only.
+* :meth:`~repro.api.solver.Solver.solve_batch` — one plan across a list
+  of operand sets, with automatic pairwise-overlapped matvec execution.
+"""
+
+from .config import ArraySpec, ExecutionOptions
+from .plan import CacheStats, ExecutionPlan, PlanCache
+from .registry import ProblemHandler, get_handler, register, registered_kinds
+from .solution import FeedbackStats, Solution
+from .solver import Solver
+
+__all__ = [
+    "ArraySpec",
+    "CacheStats",
+    "ExecutionOptions",
+    "ExecutionPlan",
+    "FeedbackStats",
+    "PlanCache",
+    "ProblemHandler",
+    "Solution",
+    "Solver",
+    "get_handler",
+    "register",
+    "registered_kinds",
+]

@@ -1,0 +1,98 @@
+"""Configuration objects for the unified solver façade.
+
+The seed exposed one bespoke class per problem, each with its own
+constructor kwargs (``record_trace``, ``overlapped``, ``verify_structure``,
+``tolerance``, ...).  The api layer replaces that scatter with two frozen
+— therefore hashable, therefore cache-key-able — dataclasses:
+
+* :class:`ArraySpec` describes the hardware: the systolic array size ``w``
+  (the linear array has ``w`` cells, the hexagonal array ``w x w``).
+* :class:`ExecutionOptions` gathers every execution knob of every problem
+  kind.  Irrelevant knobs are simply ignored by a kind (e.g.
+  ``overlapped`` by matmul), mirroring how serving configs work; the
+  options object participates in the plan key as a whole, which keeps the
+  keying rule trivially correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ArraySizeError
+from ..matrices.padding import validate_array_size
+
+__all__ = ["ArraySpec", "ExecutionOptions"]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """The fixed-size systolic array a :class:`~repro.api.solver.Solver` targets.
+
+    ``w`` is the paper's array size: the bandwidth of every transformed
+    band, the number of cells of the linear array and the side of the
+    hexagonal array.
+    """
+
+    w: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "w", validate_array_size(self.w))
+
+    @classmethod
+    def of(cls, spec: "ArraySpec | int") -> "ArraySpec":
+        """Coerce an ``ArraySpec`` or a bare array size into an ``ArraySpec``."""
+        if isinstance(spec, ArraySpec):
+            return spec
+        try:
+            return cls(w=spec)
+        except ArraySizeError:
+            raise
+        except TypeError:
+            raise ArraySizeError(
+                f"expected an ArraySpec or an integer array size, got {spec!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Every execution knob of every registered problem kind, in one place.
+
+    Fields (consumers in parentheses):
+
+    record_trace
+        Record the cycle-by-cycle data-flow trace (matvec).
+    overlapped
+        Split the transformed problem at an original block-row boundary
+        and interleave the halves on the idle cycles (matvec).
+    verify_structure
+        Audit the DBT structural conditions; with the plan/execute split
+        this runs once at *plan* time, since the conditions are purely
+        structural (matmul).
+    sparse_tolerance
+        Magnitude below which a ``w x w`` block counts as zero (sparse).
+    gs_tolerance / gs_max_iterations
+        Convergence control (gauss_seidel).
+    """
+
+    record_trace: bool = False
+    overlapped: bool = False
+    verify_structure: bool = False
+    sparse_tolerance: float = 0.0
+    gs_tolerance: float = 1e-10
+    gs_max_iterations: int = 200
+
+    def __post_init__(self) -> None:
+        if self.sparse_tolerance < 0.0:
+            raise ValueError(
+                f"sparse_tolerance must be >= 0, got {self.sparse_tolerance}"
+            )
+        if self.gs_tolerance <= 0.0:
+            raise ValueError(f"gs_tolerance must be > 0, got {self.gs_tolerance}")
+        if self.gs_max_iterations < 1:
+            raise ValueError(
+                f"gs_max_iterations must be >= 1, got {self.gs_max_iterations}"
+            )
+
+    def merged(self, **overrides) -> "ExecutionOptions":
+        """A copy with the given fields replaced (unknown names raise)."""
+        return replace(self, **overrides)

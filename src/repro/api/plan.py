@@ -1,0 +1,166 @@
+"""Execution plans and the LRU plan cache.
+
+An :class:`ExecutionPlan` is the immutable product of the *compile* half
+of the compile-then-run split: for the array kinds (matvec, matmul) it
+wraps a shape-keyed skeleton from :mod:`repro.core.plans` (band geometry,
+refill gathers, schedules, placement, token-plan skeleton); for the
+blocked pipelines (lu, triangular, gauss_seidel, sparse) it wraps a fully
+configured pipeline whose inner per-shape engines warm up on first use.
+
+Plans are keyed by ``(kind, shapes, w, options)`` and held in a
+:class:`PlanCache` — an LRU with hit/miss/eviction accounting — so that
+repeated same-shape solves, the hot path of a serving workload, skip all
+transform construction and only stream operand values.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from .config import ArraySpec, ExecutionOptions
+
+__all__ = ["ExecutionPlan", "CacheStats", "PlanCache"]
+
+#: A plan cache key: (kind, shapes, w, options).
+PlanKey = Tuple[str, Tuple, int, ExecutionOptions]
+
+
+class ExecutionPlan:
+    """One reusable, immutable compiled problem.
+
+    Obtained from :meth:`repro.api.solver.Solver.plan` (or implicitly by
+    ``solve``); execute it any number of times with same-shape operands.
+    """
+
+    __slots__ = ("_kind", "_shapes", "_spec", "_options", "_executor", "_handler")
+
+    def __init__(
+        self,
+        kind: str,
+        shapes: Tuple,
+        spec: ArraySpec,
+        options: ExecutionOptions,
+        executor: Any,
+        handler: Any,
+    ):
+        object.__setattr__(self, "_kind", kind)
+        object.__setattr__(self, "_shapes", shapes)
+        object.__setattr__(self, "_spec", spec)
+        object.__setattr__(self, "_options", options)
+        object.__setattr__(self, "_executor", executor)
+        object.__setattr__(self, "_handler", handler)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("ExecutionPlan is immutable")
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def shapes(self) -> Tuple:
+        """The normalized problem shapes the plan was compiled for."""
+        return self._shapes
+
+    @property
+    def spec(self) -> ArraySpec:
+        return self._spec
+
+    @property
+    def options(self) -> ExecutionOptions:
+        return self._options
+
+    @property
+    def executor(self) -> Any:
+        """The kind-specific compiled engine (core plan or pipeline)."""
+        return self._executor
+
+    @property
+    def key(self) -> PlanKey:
+        return (self._kind, self._shapes, self._spec.w, self._options)
+
+    def execute(self, *operands, **kwargs):
+        """Stream one operand set through the plan; returns a Solution."""
+        from ..instrumentation import counters
+
+        counters.plan_executions += 1
+        return self._handler.execute(self, *operands, **kwargs)
+
+    def describe(self) -> str:
+        return (
+            f"ExecutionPlan(kind={self._kind!r}, shapes={self._shapes}, "
+            f"w={self._spec.w})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting of one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """LRU cache of :class:`ExecutionPlan` objects keyed by plan key."""
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"plan cache maxsize must be >= 1, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._plans: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: PlanKey) -> Optional[ExecutionPlan]:
+        """The cached plan for ``key`` (marks it most recently used)."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self._misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self._hits += 1
+        return plan
+
+    def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        if key in self._plans:
+            self._plans.move_to_end(key)
+            self._plans[key] = plan
+            return
+        self._plans[key] = plan
+        while len(self._plans) > self._maxsize:
+            self._plans.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._plans),
+            maxsize=self._maxsize,
+        )

@@ -1,0 +1,453 @@
+"""Problem handlers: every workload of the package behind one registry.
+
+The six primary kinds — ``matvec``, ``matmul``, ``lu``, ``triangular``,
+``gauss_seidel``, ``sparse`` — plus the comparison baselines the paper
+cites (``prt``, ``naive_matvec``, ``naive_matmul``, ``block_partitioned``)
+are each wrapped into a :class:`~repro.api.registry.ProblemHandler` and
+registered at import time.  Handlers normalize shapes for the plan-cache
+key, compile the kind's executor, and adapt the kind-specific result into
+the common :class:`~repro.api.solution.Solution` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..baselines.block_partition import BlockPartitionedMatVec
+from ..baselines.naive_band import NaiveBlockMatMul, NaiveBlockMatVec
+from ..baselines.prt import PRTMatVec
+from ..core.plans import MatMulPlan, MatVecPlan, OverlappedMatVecPlan
+from ..errors import ShapeError
+from ..extensions.gauss_seidel import SystolicGaussSeidel
+from ..extensions.lu import SystolicLU
+from ..extensions.sparse import BlockSparseMatVec
+from ..extensions.triangular import SystolicTriangularSolver
+from ..matrices.dense import as_matrix
+from .config import ArraySpec, ExecutionOptions
+from .registry import ProblemHandler, register
+from .solution import FeedbackStats, Solution
+
+__all__ = ["PRIMARY_KINDS", "BASELINE_KINDS"]
+
+PRIMARY_KINDS = ("matvec", "matmul", "lu", "triangular", "gauss_seidel", "sparse")
+BASELINE_KINDS = ("prt", "naive_matvec", "naive_matmul", "block_partitioned")
+
+
+def _matrix_shape(value, name: str) -> Tuple[int, int]:
+    return tuple(int(d) for d in as_matrix(value, name).shape)
+
+
+def _square_side(shape, kind: str) -> Tuple[int]:
+    """Normalize ``shape=n`` or ``shape=(n, n)`` into ``(n,)``."""
+    if shape is None:
+        raise ShapeError(f"{kind} needs shape=n (or an operand matrix)")
+    if isinstance(shape, (int, np.integer)):
+        return (int(shape),)
+    shape = tuple(int(d) for d in shape)
+    if len(shape) == 1:
+        return shape
+    if len(shape) == 2 and shape[0] == shape[1]:
+        return (shape[0],)
+    raise ShapeError(f"{kind} needs a square problem, got shape {shape}")
+
+
+def _pair_shape(shape, kind: str) -> Tuple[int, int]:
+    """Normalize ``shape=(n, m)`` into a 2-tuple of ints."""
+    if shape is None:
+        raise ShapeError(f"{kind} needs shape=(n, m) (or an operand matrix)")
+    shape = tuple(int(d) for d in shape)
+    if len(shape) != 2:
+        raise ShapeError(f"{kind} needs shape=(n, m), got {shape}")
+    return shape
+
+
+# --------------------------------------------------------------------------- #
+# matvec
+# --------------------------------------------------------------------------- #
+class MatVecHandler(ProblemHandler):
+    """``y = A x + b`` on the ``w``-cell linear contraflow array."""
+
+    kind = "matvec"
+
+    def shapes(self, *, operands=None, shape=None) -> Tuple[int, int]:
+        if operands is not None:
+            return _matrix_shape(operands[0], "matrix")
+        return _pair_shape(shape, self.kind)
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        n, m = shapes
+        if options.overlapped:
+            return OverlappedMatVecPlan(n, m, spec.w, record_trace=options.record_trace)
+        return MatVecPlan(n, m, spec.w, record_trace=options.record_trace)
+
+    def wrap(self, plan, legacy) -> Solution:
+        """Adapt a :class:`~repro.core.matvec.MatVecSolution`."""
+        return Solution(
+            kind=self.kind,
+            w=plan.spec.w,
+            values=legacy.y,
+            measured_steps=legacy.measured_steps,
+            predicted_steps=legacy.predicted_steps,
+            measured_utilization=legacy.measured_utilization,
+            predicted_utilization=legacy.predicted_utilization,
+            feedback=FeedbackStats.from_delays(legacy.feedback_delays),
+            stats={"overlapped": legacy.overlapped},
+            raw=legacy,
+            plan_key=plan.key,
+        )
+
+    def execute(self, plan, matrix, x, b=None) -> Solution:
+        return self.wrap(plan, plan.executor.execute(matrix, x, b))
+
+
+# --------------------------------------------------------------------------- #
+# matmul
+# --------------------------------------------------------------------------- #
+class MatMulHandler(ProblemHandler):
+    """``C = A B + E`` on the ``w x w`` hexagonal array."""
+
+    kind = "matmul"
+
+    def shapes(self, *, operands=None, shape=None) -> Tuple[int, int, int]:
+        if operands is not None:
+            a_shape = _matrix_shape(operands[0], "A")
+            b_shape = _matrix_shape(operands[1], "B")
+            if a_shape[1] != b_shape[0]:
+                raise ShapeError(
+                    f"cannot multiply shapes {a_shape} and {b_shape}"
+                )
+            return (a_shape[0], a_shape[1], b_shape[1])
+        if shape is None:
+            raise ShapeError("matmul needs shape=(n, p, m) or ((n, p), (p, m))")
+        shape = tuple(shape)
+        if len(shape) == 3:
+            return tuple(int(d) for d in shape)
+        if len(shape) == 2 and all(hasattr(s, "__len__") for s in shape):
+            (n, p), (p2, m) = (tuple(map(int, s)) for s in shape)
+            if p != p2:
+                raise ShapeError(
+                    f"cannot multiply shapes {(n, p)} and {(p2, m)}"
+                )
+            return (n, p, m)
+        raise ShapeError(f"matmul needs shape=(n, p, m), got {shape}")
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        n, p, m = shapes
+        return MatMulPlan(n, p, m, spec.w, verify_structure=options.verify_structure)
+
+    def wrap(self, plan, legacy) -> Solution:
+        classification = legacy.feedback_classification()
+        delays = list(legacy.feedback_delays.values())
+        return Solution(
+            kind=self.kind,
+            w=plan.spec.w,
+            values=legacy.c,
+            measured_steps=legacy.measured_steps,
+            predicted_steps=legacy.predicted_steps,
+            measured_utilization=legacy.measured_utilization,
+            predicted_utilization=legacy.predicted_utilization,
+            feedback=FeedbackStats(
+                count=len(delays),
+                min_delay=min(delays) if delays else None,
+                max_delay=max(delays) if delays else None,
+                regular=classification.regular_count,
+                irregular=classification.irregular_count,
+            ),
+            raw=legacy,
+            plan_key=plan.key,
+        )
+
+    def execute(self, plan, a, b, e=None) -> Solution:
+        return self.wrap(plan, plan.executor.execute(a, b, e))
+
+
+# --------------------------------------------------------------------------- #
+# triangular solve
+# --------------------------------------------------------------------------- #
+class TriangularHandler(ProblemHandler):
+    """``T x = b`` by blocks; products on the array, diagonal solves on host."""
+
+    kind = "triangular"
+
+    def shapes(self, *, operands=None, shape=None) -> Tuple[int]:
+        if operands is not None:
+            matrix_shape = _matrix_shape(operands[0], "matrix")
+            if matrix_shape[0] != matrix_shape[1]:
+                raise ShapeError(
+                    f"triangular solve needs a square matrix, got {matrix_shape}"
+                )
+            return (matrix_shape[0],)
+        return _square_side(shape, self.kind)
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return SystolicTriangularSolver(spec.w)
+
+    def execute(self, plan, matrix, b, lower: bool = True) -> Solution:
+        solver = plan.executor
+        result = solver.solve_lower(matrix, b) if lower else solver.solve_upper(matrix, b)
+        return Solution(
+            kind=self.kind,
+            w=plan.spec.w,
+            values=result.x,
+            measured_steps=result.array_steps,
+            stats={
+                "array_share": result.array_share,
+                "host_operations": result.host_operations,
+                "block_solves": result.block_solves,
+                "matvec_calls": result.matvec_calls,
+                "residual_norm": result.residual_norm,
+                "lower": lower,
+            },
+            raw=result,
+            plan_key=plan.key,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# LU factorization
+# --------------------------------------------------------------------------- #
+class LUHandler(ProblemHandler):
+    """Blocked LU ``A = L U``; trailing updates on the hexagonal array."""
+
+    kind = "lu"
+
+    def shapes(self, *, operands=None, shape=None) -> Tuple[int]:
+        if operands is not None:
+            matrix_shape = _matrix_shape(operands[0], "matrix")
+            if matrix_shape[0] != matrix_shape[1]:
+                raise ShapeError(f"LU needs a square matrix, got {matrix_shape}")
+            return (matrix_shape[0],)
+        return _square_side(shape, self.kind)
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return SystolicLU(spec.w)
+
+    def execute(self, plan, matrix) -> Solution:
+        result = plan.executor.factor(matrix)
+        return Solution(
+            kind=self.kind,
+            w=plan.spec.w,
+            values=(result.l, result.u),
+            measured_steps=result.array_steps,
+            stats={
+                "array_share": result.array_share,
+                "host_operations": result.host_operations,
+                "update_calls": result.update_calls,
+                "residual_norm": result.residual(matrix),
+            },
+            raw=result,
+            plan_key=plan.key,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Gauss-Seidel iteration
+# --------------------------------------------------------------------------- #
+class GaussSeidelHandler(ProblemHandler):
+    """``A x = b`` by the splitting ``(D + L) x_{k+1} = b - U x_k``."""
+
+    kind = "gauss_seidel"
+
+    def shapes(self, *, operands=None, shape=None) -> Tuple[int]:
+        if operands is not None:
+            matrix_shape = _matrix_shape(operands[0], "matrix")
+            if matrix_shape[0] != matrix_shape[1]:
+                raise ShapeError(
+                    f"Gauss-Seidel needs a square matrix, got {matrix_shape}"
+                )
+            return (matrix_shape[0],)
+        return _square_side(shape, self.kind)
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return SystolicGaussSeidel(
+            spec.w,
+            tolerance=options.gs_tolerance,
+            max_iterations=options.gs_max_iterations,
+        )
+
+    def execute(self, plan, matrix, b, x0=None) -> Solution:
+        result = plan.executor.solve(matrix, b, x0)
+        return Solution(
+            kind=self.kind,
+            w=plan.spec.w,
+            values=result.x,
+            measured_steps=result.array_steps,
+            stats={
+                "iterations": result.iterations,
+                "converged": result.converged,
+                "residual_norm": result.residual_norm,
+            },
+            raw=result,
+            plan_key=plan.key,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# block-sparse matvec
+# --------------------------------------------------------------------------- #
+class SparseHandler(ProblemHandler):
+    """``y = A x + b`` skipping zero ``w x w`` blocks of the operand.
+
+    The band layout of the sparse transform depends on the operand's
+    sparsity *pattern* (a value property), so the compiled plan holds the
+    configured pipeline rather than a band skeleton; the transform is
+    rebuilt per solve, exactly as the paper's refinement requires.
+    """
+
+    kind = "sparse"
+
+    def shapes(self, *, operands=None, shape=None) -> Tuple[int, int]:
+        if operands is not None:
+            return _matrix_shape(operands[0], "matrix")
+        return _pair_shape(shape, self.kind)
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return BlockSparseMatVec(spec.w, tolerance=options.sparse_tolerance)
+
+    def execute(self, plan, matrix, x, b=None) -> Solution:
+        result = plan.executor.solve(matrix, x, b)
+        delays = result.run.feedback_delays() if result.run is not None else []
+        return Solution(
+            kind=self.kind,
+            w=plan.spec.w,
+            values=result.y,
+            measured_steps=result.measured_steps,
+            predicted_steps=result.dense_steps,
+            measured_utilization=result.measured_utilization,
+            feedback=FeedbackStats.from_delays(delays),
+            stats={
+                "saving": result.saving,
+                "dense_steps": result.dense_steps,
+                "nonzero_blocks": result.transform.nonzero_block_count,
+                "skipped_blocks": result.transform.skipped_block_count,
+                "separators": result.transform.separator_count,
+            },
+            raw=result,
+            plan_key=plan.key,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# comparison baselines
+# --------------------------------------------------------------------------- #
+class PRTHandler(ProblemHandler):
+    """Priester et al. single-block transformation (DBT with n_bar=m_bar=1)."""
+
+    kind = "prt"
+
+    def shapes(self, *, operands=None, shape=None) -> Tuple[int, int]:
+        if operands is not None:
+            return _matrix_shape(operands[0], "matrix")
+        return _pair_shape(shape, self.kind)
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return PRTMatVec(spec.w)
+
+    def execute(self, plan, matrix, x, b=None) -> Solution:
+        result = plan.executor.solve(matrix, x, b)
+        return Solution(
+            kind=self.kind,
+            w=plan.spec.w,
+            values=result.y,
+            measured_steps=result.measured_steps,
+            measured_utilization=result.measured_utilization,
+            feedback=FeedbackStats.from_delays(result.run.feedback_delays()),
+            stats={"array_size": plan.executor.array_size},
+            raw=result,
+            plan_key=plan.key,
+        )
+
+
+class _BlockBaselineHandler(ProblemHandler):
+    """Shared adapter for the block-by-block host-accumulation baselines."""
+
+    def _wrap(self, plan, result) -> Solution:
+        return Solution(
+            kind=self.kind,
+            w=plan.spec.w,
+            values=result.result,
+            measured_steps=result.total_steps,
+            measured_utilization=result.utilization,
+            stats={
+                "processing_elements": result.processing_elements,
+                "block_runs": result.block_runs,
+                "external_additions": result.external_additions,
+            },
+            raw=result,
+            plan_key=plan.key,
+        )
+
+
+class NaiveMatVecHandler(_BlockBaselineHandler):
+    """Block-by-block ``y = A x + b`` on a ``2w - 1`` cell array."""
+
+    kind = "naive_matvec"
+
+    def shapes(self, *, operands=None, shape=None) -> Tuple[int, int]:
+        if operands is not None:
+            return _matrix_shape(operands[0], "matrix")
+        return _pair_shape(shape, self.kind)
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return NaiveBlockMatVec(spec.w)
+
+    def execute(self, plan, matrix, x, b=None) -> Solution:
+        return self._wrap(plan, plan.executor.solve(matrix, x, b))
+
+
+class NaiveMatMulHandler(_BlockBaselineHandler):
+    """Block-by-block ``C = A B + E`` on a ``(2w-1) x (2w-1)`` array."""
+
+    kind = "naive_matmul"
+
+    def shapes(self, *, operands=None, shape=None) -> Tuple[int, int, int]:
+        if operands is not None:
+            a_shape = _matrix_shape(operands[0], "A")
+            b_shape = _matrix_shape(operands[1], "B")
+            if a_shape[1] != b_shape[0]:
+                raise ShapeError(f"cannot multiply shapes {a_shape} and {b_shape}")
+            return (a_shape[0], a_shape[1], b_shape[1])
+        shape = tuple(int(d) for d in (shape or ()))
+        if len(shape) != 3:
+            raise ShapeError(f"naive_matmul needs shape=(n, p, m), got {shape}")
+        return shape
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return NaiveBlockMatMul(spec.w)
+
+    def execute(self, plan, a, b, e=None) -> Solution:
+        return self._wrap(plan, plan.executor.solve(a, b, e))
+
+
+class BlockPartitionedHandler(_BlockBaselineHandler):
+    """Block-partitioned ``y = A x + b`` on a ``w`` cell array."""
+
+    kind = "block_partitioned"
+
+    def shapes(self, *, operands=None, shape=None) -> Tuple[int, int]:
+        if operands is not None:
+            return _matrix_shape(operands[0], "matrix")
+        return _pair_shape(shape, self.kind)
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return BlockPartitionedMatVec(spec.w)
+
+    def execute(self, plan, matrix, x, b=None) -> Solution:
+        return self._wrap(plan, plan.executor.solve(matrix, x, b))
+
+
+for _handler_class in (
+    MatVecHandler,
+    MatMulHandler,
+    TriangularHandler,
+    LUHandler,
+    GaussSeidelHandler,
+    SparseHandler,
+    PRTHandler,
+    NaiveMatVecHandler,
+    NaiveMatMulHandler,
+    BlockPartitionedHandler,
+):
+    register(_handler_class())

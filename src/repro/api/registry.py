@@ -1,0 +1,78 @@
+"""The problem registry behind the unified solver façade.
+
+Each problem kind the package can solve is described by a
+:class:`ProblemHandler` and registered under a string key ("matvec",
+"matmul", "lu", "triangular", "gauss_seidel", "sparse", plus the
+comparison baselines).  The :class:`~repro.api.solver.Solver` façade
+resolves kinds through this registry, so adding a workload is: implement a
+handler, call :func:`register` — no façade changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import ProblemKindError
+from .config import ArraySpec, ExecutionOptions
+from .solution import Solution
+
+__all__ = ["ProblemHandler", "register", "get_handler", "registered_kinds"]
+
+
+class ProblemHandler:
+    """Interface one problem kind implements to join the registry.
+
+    ``kind``
+        The registry key.
+    ``shapes(...)``
+        Normalize either an operand set or an explicit ``shape=`` spec
+        into the hashable shape tuple that keys the plan cache.
+    ``build(...)``
+        Compile the plan executor for one ``(spec, options, shapes)``.
+    ``execute(...)``
+        Stream one operand set through a compiled plan and wrap the
+        kind-specific result into the common :class:`Solution` protocol.
+    """
+
+    kind: str = ""
+
+    def shapes(
+        self,
+        *,
+        operands: Optional[Tuple] = None,
+        shape=None,
+    ) -> Tuple:
+        raise NotImplementedError
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes: Tuple):
+        raise NotImplementedError
+
+    def execute(self, plan, *operands, **kwargs) -> Solution:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, ProblemHandler] = {}
+
+
+def register(handler: ProblemHandler) -> ProblemHandler:
+    """Register a handler under its ``kind`` (last registration wins)."""
+    if not handler.kind:
+        raise ValueError(f"handler {handler!r} declares no kind")
+    _REGISTRY[handler.kind] = handler
+    return handler
+
+
+def get_handler(kind: str) -> ProblemHandler:
+    """The handler for ``kind``; raises :class:`ProblemKindError` if unknown."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ProblemKindError(
+            f"unknown problem kind {kind!r}; registered kinds: {known}"
+        ) from None
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    """All registered problem kinds, sorted."""
+    return tuple(sorted(_REGISTRY))

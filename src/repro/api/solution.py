@@ -1,0 +1,97 @@
+"""The common result protocol of the unified solver façade.
+
+Every problem kind routed through :class:`~repro.api.solver.Solver`
+returns a :class:`Solution`: the recovered values, the measured and (where
+the paper gives a closed form) predicted step counts and utilizations, a
+:class:`FeedbackStats` digest of the partial-result feedback traffic,
+kind-specific extras in ``stats``, and the underlying kind-specific result
+object in ``raw`` for callers that need full detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["FeedbackStats", "Solution"]
+
+
+@dataclass(frozen=True)
+class FeedbackStats:
+    """Digest of the partial-result feedback traffic of one execution.
+
+    ``count`` is the number of values that re-entered the array through a
+    feedback path.  ``min_delay``/``max_delay`` bound the observed delays
+    (``None`` when nothing was fed back); for the hexagonal array,
+    ``regular``/``irregular`` split the delays per Section 3 of the paper.
+    """
+
+    count: int = 0
+    min_delay: Optional[int] = None
+    max_delay: Optional[int] = None
+    regular: Optional[int] = None
+    irregular: Optional[int] = None
+
+    @classmethod
+    def from_delays(cls, delays) -> "FeedbackStats":
+        delays = list(delays)
+        if not delays:
+            return cls()
+        return cls(count=len(delays), min_delay=min(delays), max_delay=max(delays))
+
+    def describe(self) -> str:
+        if self.count == 0:
+            return "no values fed back"
+        text = f"{self.count} values fed back, delays {self.min_delay}..{self.max_delay}"
+        if self.regular is not None and self.irregular is not None:
+            text += f" ({self.regular} regular, {self.irregular} irregular)"
+        return text
+
+
+@dataclass
+class Solution:
+    """Uniform result of one :class:`~repro.api.solver.Solver` execution."""
+
+    kind: str
+    w: int
+    values: Any
+    measured_steps: int
+    predicted_steps: Optional[int] = None
+    measured_utilization: Optional[float] = None
+    predicted_utilization: Optional[float] = None
+    feedback: FeedbackStats = field(default_factory=FeedbackStats)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    raw: Any = None
+    plan_key: Optional[Tuple] = None
+    from_cache: bool = False
+
+    def summary(self) -> str:
+        """Uniform short report across all problem kinds."""
+        header = f"repro.api {self.kind} on a w={self.w} systolic array"
+        if self.from_cache:
+            header += " [cached plan]"
+        lines = [header]
+        if self.predicted_steps is not None:
+            lines.append(
+                f"  steps:       measured {self.measured_steps}, "
+                f"paper formula {self.predicted_steps}"
+            )
+        else:
+            lines.append(f"  steps:       measured {self.measured_steps}")
+        if self.measured_utilization is not None:
+            if self.predicted_utilization is not None:
+                lines.append(
+                    f"  utilization: measured {self.measured_utilization:.4f}, "
+                    f"paper formula {self.predicted_utilization:.4f}"
+                )
+            else:
+                lines.append(
+                    f"  utilization: measured {self.measured_utilization:.4f}"
+                )
+        lines.append(f"  feedback:    {self.feedback.describe()}")
+        for name in sorted(self.stats):
+            value = self.stats[name]
+            if isinstance(value, float):
+                value = f"{value:.4f}"
+            lines.append(f"  {name + ':':<13}{value}")
+        return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""The unified solver façade: one front door for every problem kind.
+
+:class:`Solver` ties the pieces together — registry dispatch, the
+plan/execute split, and the LRU plan cache::
+
+    from repro.api import ArraySpec, Solver
+
+    solver = Solver(ArraySpec(w=4))
+    plan = solver.plan("matvec", shape=(10, 7))   # compile once
+    first = solver.solve("matvec", a, x, b)        # cache miss: builds plan
+    second = solver.solve("matvec", a2, x2, b2)    # cache hit: streams values
+
+``solve_batch`` reuses one plan across a list of operand sets and, for the
+plain matrix-vector kind, automatically routes pairs of requests through
+the array's overlapped execution so the idle contraflow cycles of one
+request carry the other.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..instrumentation import counters
+from .config import ArraySpec, ExecutionOptions
+from .plan import ExecutionPlan, CacheStats, PlanCache
+from .registry import get_handler, registered_kinds
+from .solution import Solution
+
+# Importing the handlers populates the registry.
+from . import problems as _problems  # noqa: F401
+
+__all__ = ["Solver"]
+
+
+class Solver:
+    """Façade over the problem registry with an LRU-cached plan step.
+
+    Parameters
+    ----------
+    spec:
+        An :class:`ArraySpec` or a bare array size ``w``.
+    options:
+        Solver-wide :class:`ExecutionOptions` defaults; per-call
+        ``options=`` arguments override them wholesale.
+    plan_cache_size:
+        Capacity of the LRU plan cache.
+    """
+
+    def __init__(
+        self,
+        spec: "ArraySpec | int",
+        options: Optional[ExecutionOptions] = None,
+        plan_cache_size: int = 128,
+    ):
+        self._spec = ArraySpec.of(spec)
+        self._options = options if options is not None else ExecutionOptions()
+        self._cache = PlanCache(plan_cache_size)
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def spec(self) -> ArraySpec:
+        return self._spec
+
+    @property
+    def w(self) -> int:
+        return self._spec.w
+
+    @property
+    def options(self) -> ExecutionOptions:
+        return self._options
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction accounting of the plan cache."""
+        return self._cache.stats
+
+    @staticmethod
+    def kinds() -> Tuple[str, ...]:
+        """All problem kinds the registry can dispatch."""
+        return registered_kinds()
+
+    # -- the plan step ----------------------------------------------------------
+    def plan(
+        self,
+        kind: str,
+        *,
+        shape=None,
+        options: Optional[ExecutionOptions] = None,
+        **option_overrides,
+    ) -> ExecutionPlan:
+        """Compile (or fetch from cache) the plan for one problem shape.
+
+        ``shape`` is the kind's shape spec — ``(n, m)`` for matvec/sparse,
+        ``(n, p, m)`` for matmul, ``n`` for the square kinds.  Keyword
+        overrides (``overlapped=True``, ...) are merged into the solver's
+        default options.
+        """
+        handler = get_handler(kind)
+        opts = self._resolve_options(options, option_overrides)
+        shapes = handler.shapes(shape=shape)
+        plan, _hit = self._plan_for(handler, shapes, opts)
+        return plan
+
+    def solve(
+        self,
+        kind: str,
+        *operands,
+        options: Optional[ExecutionOptions] = None,
+        **kwargs,
+    ) -> Solution:
+        """Plan (with caching) and execute one problem.
+
+        Extra keyword arguments are execution arguments of the kind (e.g.
+        ``lower=False`` for ``triangular``); options overrides go through
+        ``options=``.
+        """
+        handler = get_handler(kind)
+        opts = self._resolve_options(options, {})
+        shapes = handler.shapes(operands=operands)
+        plan, hit = self._plan_for(handler, shapes, opts)
+        solution = plan.execute(*operands, **kwargs)
+        solution.from_cache = hit
+        return solution
+
+    def solve_batch(
+        self,
+        kind: str,
+        batch: Sequence[Tuple],
+        options: Optional[ExecutionOptions] = None,
+    ) -> List[Solution]:
+        """Solve a list of operand sets, reusing one plan per shape.
+
+        For the plain (non-overlapped) matvec kind, consecutive requests
+        that share a plan are executed *pairwise overlapped*: the second
+        problem's schedule slots into the idle cycles of the first, so a
+        uniform batch finishes in roughly half the sequential array time
+        while producing values identical to sequential solves.
+        """
+        handler = get_handler(kind)
+        opts = self._resolve_options(options, {})
+        entries = [tuple(entry) for entry in batch]
+        if kind == "matvec":
+            entries = [self._matvec_triple(entry) for entry in entries]
+        planned = []
+        for entry in entries:
+            shapes = handler.shapes(operands=entry)
+            planned.append(self._plan_for(handler, shapes, opts))
+
+        results: List[Optional[Solution]] = [None] * len(entries)
+        pair_capable = kind == "matvec" and not opts.overlapped
+        index = 0
+        while index < len(entries):
+            plan, hit = planned[index]
+            if (
+                pair_capable
+                and index + 1 < len(entries)
+                and planned[index + 1][0] is plan
+            ):
+                counters.plan_executions += 2
+                legacy_a, legacy_b = plan.executor.execute_pair(
+                    entries[index], entries[index + 1]
+                )
+                for offset, legacy in ((0, legacy_a), (1, legacy_b)):
+                    solution = handler.wrap(plan, legacy)
+                    solution.from_cache = planned[index + offset][1]
+                    solution.stats["paired"] = True
+                    # The paper's closed forms cover a standalone problem
+                    # (plain or split-overlapped), not two interleaved
+                    # requests sharing one run; drop the predictions
+                    # rather than report a false model mismatch.
+                    solution.predicted_steps = None
+                    solution.predicted_utilization = None
+                    results[index + offset] = solution
+                index += 2
+            else:
+                solution = plan.execute(*entries[index])
+                solution.from_cache = hit
+                results[index] = solution
+                index += 1
+        return results
+
+    # -- internals ----------------------------------------------------------------
+    def _resolve_options(
+        self,
+        options: Optional[ExecutionOptions],
+        overrides: dict,
+    ) -> ExecutionOptions:
+        base = options if options is not None else self._options
+        return base.merged(**overrides) if overrides else base
+
+    def _plan_for(self, handler, shapes, opts) -> Tuple[ExecutionPlan, bool]:
+        key = (handler.kind, shapes, self._spec.w, opts)
+        plan = self._cache.get(key)
+        if plan is not None:
+            return plan, True
+        counters.plan_builds += 1
+        executor = handler.build(self._spec, opts, shapes)
+        plan = ExecutionPlan(
+            kind=handler.kind,
+            shapes=shapes,
+            spec=self._spec,
+            options=opts,
+            executor=executor,
+            handler=handler,
+        )
+        self._cache.put(key, plan)
+        return plan, False
+
+    @staticmethod
+    def _matvec_triple(entry: Tuple) -> Tuple:
+        """Normalize a matvec operand set to ``(matrix, x, b)``."""
+        if len(entry) == 2:
+            return (entry[0], entry[1], None)
+        if len(entry) == 3:
+            return entry
+        raise ValueError(
+            f"matvec operand sets are (matrix, x[, b]); got {len(entry)} items"
+        )

@@ -22,7 +22,8 @@ from ..matrices.dense import as_matrix, as_vector
 from ..matrices.padding import validate_array_size
 from ..systolic.linear_array import LinearRunResult
 from ..core.dbt import DBTByRowsTransform
-from ..core.matvec import MatVecSolution, SizeIndependentMatVec
+from ..core.matvec import MatVecSolution
+from ..core.plans import CachedMatVec
 
 __all__ = ["PRTTransform", "PRTMatVec"]
 
@@ -71,6 +72,7 @@ class PRTMatVec:
 
     def __init__(self, w: int):
         self._w = validate_array_size(w)
+        self._engine = CachedMatVec(self._w)
 
     @property
     def w(self) -> int:
@@ -91,8 +93,7 @@ class PRTMatVec:
                 f"got shape {matrix.shape}"
             )
         x = as_vector(x, "x")
-        solver = SizeIndependentMatVec(self._w)
-        solution: MatVecSolution = solver.solve(matrix, x, b)
+        solution: MatVecSolution = self._engine.solve(matrix, x, b)
         transform = PRTTransform(matrix, self._w)
         return PRTSolution(
             y=solution.y, w=self._w, transform=transform, run=solution.run

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import TransformError
+from ..instrumentation import counters
 from ..matrices.blocks import BlockGrid
 from ..matrices.banded import BandMatrix
 from ..matrices.dense import as_matrix, as_vector
@@ -78,6 +79,7 @@ class DBTByRowsTransform:
     """
 
     def __init__(self, matrix: np.ndarray, w: int):
+        counters.transform_constructions += 1
         self._w = validate_array_size(w)
         matrix = as_matrix(matrix, "matrix")
         self._original_shape = matrix.shape

@@ -1,30 +1,34 @@
 """End-to-end size-independent matrix-matrix multiplication (Section 3).
 
-:class:`SizeIndependentMatMul` solves ``C = A * B + E`` for arbitrary
-dense operands on the ``w x w`` hexagonal array:
+:class:`MatMulSolution` is the result type shared by the plan/execute
+engines in :mod:`repro.core.plans` and the unified :mod:`repro.api`
+façade.  The pipeline itself lives in
+:class:`~repro.core.plans.MatMulPlan`:
 
-1. build the transformed operand bands ``A~`` and ``B~``
-   (:class:`~repro.core.operands.MatMulOperands`),
-2. derive the partial-result placement and the spiral feedback plan
-   (:class:`~repro.core.recovery.PartialResultMap`),
+1. build the transformed operand bands ``A~`` and ``B~`` (structure once
+   per shape, values streamed per solve),
+2. derive the partial-result placement and the spiral feedback plan,
 3. stream the bands through the cycle-accurate hexagonal simulator with
    the addend and all fed-back partial results entering through the ``C``
    input ports, so no arithmetic happens outside the array, and
 4. read the finished ``C`` out of the output band and report measured
    time, utilization and feedback delays next to the paper's closed forms.
+
+:class:`SizeIndependentMatMul` is kept as a thin deprecation shim over
+:class:`~repro.core.plans.CachedMatMul`; new code should use
+:class:`repro.api.Solver`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ShapeError
-from ..matrices.dense import as_matrix
 from ..matrices.padding import validate_array_size
-from ..systolic.hex_array import HexRunResult, HexagonalArray
+from ..systolic.hex_array import HexRunResult
 from .analytic import MatMulModel
 from .operands import MatMulOperands
 from .recovery import FeedbackClassification, PartialResultMap, classify_feedback_delays
@@ -87,11 +91,25 @@ class MatMulSolution:
 
 
 class SizeIndependentMatMul:
-    """Solve ``C = A B + E`` for arbitrary dense operands on a ``w x w`` array."""
+    """Solve ``C = A B + E`` for arbitrary dense operands on a ``w x w`` array.
+
+    .. deprecated::
+        Thin shim over the shape-keyed execution plans; prefer
+        ``repro.api.Solver(w).solve("matmul", a, b, e)``.
+    """
 
     def __init__(self, w: int, verify_structure: bool = False):
+        warnings.warn(
+            "SizeIndependentMatMul is deprecated; use repro.api.Solver "
+            "(plan/execute façade) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._w = validate_array_size(w)
         self._verify_structure = verify_structure
+        from .plans import CachedMatMul  # deferred: plans imports this module
+
+        self._engine = CachedMatMul(self._w, verify_structure=verify_structure)
 
     @property
     def w(self) -> int:
@@ -104,40 +122,4 @@ class SizeIndependentMatMul:
         e: Optional[np.ndarray] = None,
     ) -> MatMulSolution:
         """Transform, simulate and recover ``C = A B + E``."""
-        a = as_matrix(a, "A")
-        b = as_matrix(b, "B")
-        if a.shape[1] != b.shape[0]:
-            raise ShapeError(f"cannot multiply shapes {a.shape} and {b.shape}")
-        if e is not None:
-            e = as_matrix(e, "E")
-            if e.shape != (a.shape[0], b.shape[1]):
-                raise ShapeError(
-                    f"E must have shape {(a.shape[0], b.shape[1])}, got {e.shape}"
-                )
-
-        operands = MatMulOperands(a, b, self._w)
-        if self._verify_structure:
-            operands.verify_product_coverage()
-            if not operands.inner_origins_consistent():
-                raise ShapeError("operand bands pair inconsistent inner indices")
-
-        array = HexagonalArray(self._w, self._w)
-        placement = PartialResultMap(operands, array)
-        plan = placement.build_token_plan(e)
-        useful = a.shape[0] * a.shape[1] * b.shape[1]
-        run = array.run(
-            operands.a_operand.band,
-            operands.b_operand.band,
-            c_plan=plan,
-            useful_operations=useful,
-        )
-        c = placement.recover_c(run.c_band)
-        model = MatMulModel(n=a.shape[0], p=a.shape[1], m=b.shape[1], w=self._w)
-        return MatMulSolution(
-            c=c,
-            w=self._w,
-            operands=operands,
-            placement=placement,
-            run=run,
-            model=model,
-        )
+        return self._engine.solve(a, b, e)

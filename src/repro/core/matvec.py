@@ -1,28 +1,31 @@
 """End-to-end size-independent matrix-vector multiplication (Section 2).
 
-:class:`SizeIndependentMatVec` is the public pipeline tying the pieces
-together: it applies DBT-by-rows to the dense operand, streams the
-transformed problem through the cycle-accurate linear contraflow array
-(with the ``w``-register feedback chain carrying partial results back into
-the array), recovers ``y`` from the output stream, and reports measured
-time and utilization next to the paper's analytic predictions.
+:class:`MatVecSolution` is the result type shared by the plan/execute
+engines in :mod:`repro.core.plans` and the unified :mod:`repro.api`
+façade.
+
+:class:`SizeIndependentMatVec` is kept as a thin deprecation shim over
+:class:`~repro.core.plans.CachedMatVec`: it preserves the original
+one-class-per-problem constructor (``w``, ``record_trace``,
+``overlapped``) but delegates all work to the shape-keyed execution
+plans, so repeated solves of one shape through a single instance no
+longer rebuild the DBT transform.  New code should use
+:class:`repro.api.Solver` instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
-from ..errors import ShapeError
-from ..matrices.dense import as_matrix, as_vector
-from ..matrices.padding import validate_array_size
-from ..systolic.linear_array import LinearContraflowArray, LinearProblem, LinearRunResult
+from ..systolic.linear_array import LinearRunResult
 from ..systolic.trace import DataFlowTrace
+from ..matrices.padding import validate_array_size
 from .analytic import MatVecModel
 from .dbt import DBTByRowsTransform
-from .schedule import plan_overlap_partition
 
 __all__ = ["MatVecSolution", "SizeIndependentMatVec"]
 
@@ -73,20 +76,42 @@ class MatVecSolution:
         ]
         delays = self.feedback_delays
         if delays:
+            lo, hi = min(delays), max(delays)
+            if lo == hi:
+                delay_text = f"every delay = {lo} cycles" + (
+                    " (= w)" if lo == self.w else ""
+                )
+            else:
+                delay_text = f"delays {lo}..{hi} cycles (min..max)"
             lines.append(
-                f"  feedback:    {len(delays)} values fed back, every delay = "
-                f"{delays[0]} cycles (= w)"
+                f"  feedback:    {len(delays)} values fed back, {delay_text}"
             )
         return "\n".join(lines)
 
 
 class SizeIndependentMatVec:
-    """Solve ``y = A x + b`` for arbitrary dense ``A`` on a ``w``-cell array."""
+    """Solve ``y = A x + b`` for arbitrary dense ``A`` on a ``w``-cell array.
+
+    .. deprecated::
+        Thin shim over the shape-keyed execution plans; prefer
+        ``repro.api.Solver(w).solve("matvec", matrix, x, b)``.
+    """
 
     def __init__(self, w: int, record_trace: bool = False, overlapped: bool = False):
+        warnings.warn(
+            "SizeIndependentMatVec is deprecated; use repro.api.Solver "
+            "(plan/execute façade) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._w = validate_array_size(w)
         self._record_trace = record_trace
         self._overlapped = overlapped
+        from .plans import CachedMatVec  # deferred: plans imports this module
+
+        self._engine = CachedMatVec(
+            self._w, record_trace=record_trace, overlapped=overlapped
+        )
 
     @property
     def w(self) -> int:
@@ -103,93 +128,4 @@ class SizeIndependentMatVec:
         b: Optional[np.ndarray] = None,
     ) -> MatVecSolution:
         """Transform, simulate and recover ``y = A x + b``."""
-        matrix = as_matrix(matrix, "matrix")
-        x = as_vector(x, "x")
-        if x.shape[0] != matrix.shape[1]:
-            raise ShapeError(
-                f"x has length {x.shape[0]} but the matrix has {matrix.shape[1]} columns"
-            )
-        if b is not None:
-            b = as_vector(b, "b")
-            if b.shape[0] != matrix.shape[0]:
-                raise ShapeError(
-                    f"b has length {b.shape[0]} but the matrix has {matrix.shape[0]} rows"
-                )
-
-        if self._overlapped:
-            return self._solve_overlapped(matrix, x, b)
-        return self._solve_plain(matrix, x, b)
-
-    # -- plain (non overlapped) execution -----------------------------------------
-    def _solve_plain(
-        self, matrix: np.ndarray, x: np.ndarray, b: Optional[np.ndarray]
-    ) -> MatVecSolution:
-        transform = DBTByRowsTransform(matrix, self._w)
-        problem = self._build_problem(transform, matrix, x, b)
-        array = LinearContraflowArray(self._w, record_trace=self._record_trace)
-        run = array.run(problem)
-        y = transform.recover_y(run.y_per_problem[0])
-        model = MatVecModel(
-            n=matrix.shape[0], m=matrix.shape[1], w=self._w, overlapped=False
-        )
-        return MatVecSolution(
-            y=y,
-            w=self._w,
-            overlapped=False,
-            transforms=[transform],
-            run=run,
-            model=model,
-        )
-
-    # -- overlapped execution --------------------------------------------------------
-    def _solve_overlapped(
-        self, matrix: np.ndarray, x: np.ndarray, b: Optional[np.ndarray]
-    ) -> MatVecSolution:
-        partition = plan_overlap_partition(matrix.shape[0], matrix.shape[1], self._w)
-        top_rows = partition.first_rows
-        top_matrix, bottom_matrix = matrix[:top_rows, :], matrix[top_rows:, :]
-        if b is None:
-            top_b = bottom_b = None
-        else:
-            top_b, bottom_b = b[:top_rows], b[top_rows:]
-
-        top_transform = DBTByRowsTransform(top_matrix, self._w)
-        bottom_transform = DBTByRowsTransform(bottom_matrix, self._w)
-        problems = [
-            self._build_problem(top_transform, top_matrix, x, top_b),
-            self._build_problem(bottom_transform, bottom_matrix, x, bottom_b),
-        ]
-        array = LinearContraflowArray(self._w, record_trace=self._record_trace)
-        run = array.run_overlapped(problems)
-        y_top = top_transform.recover_y(run.y_per_problem[0])
-        y_bottom = bottom_transform.recover_y(run.y_per_problem[1])
-        y = np.concatenate([y_top, y_bottom])
-        model = MatVecModel(
-            n=matrix.shape[0], m=matrix.shape[1], w=self._w, overlapped=True
-        )
-        return MatVecSolution(
-            y=y,
-            w=self._w,
-            overlapped=True,
-            transforms=[top_transform, bottom_transform],
-            run=run,
-            model=model,
-        )
-
-    # -- shared helpers -----------------------------------------------------------------
-    def _build_problem(
-        self,
-        transform: DBTByRowsTransform,
-        matrix: np.ndarray,
-        x: np.ndarray,
-        b: Optional[np.ndarray],
-    ) -> LinearProblem:
-        useful = matrix.shape[0] * matrix.shape[1]
-        return LinearProblem(
-            band=transform.band,
-            x=transform.transform_x(x),
-            y_sources=transform.build_y_sources(b),
-            x_tags=transform.x_tags(),
-            output_tags=transform.output_tags(),
-            useful_operations=useful,
-        )
+        return self._engine.solve(matrix, x, b)

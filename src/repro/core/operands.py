@@ -34,6 +34,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..errors import TransformError
+from ..instrumentation import counters
 from ..matrices.banded import BandMatrix
 from ..matrices.blocks import BlockGrid
 from ..matrices.dense import as_matrix
@@ -69,6 +70,7 @@ class MatMulOperands:
     """Builds ``A~`` and ``B~`` for one ``C = A * B + E`` problem."""
 
     def __init__(self, a: np.ndarray, b: np.ndarray, w: int):
+        counters.transform_constructions += 1
         self._w = validate_array_size(w)
         a = as_matrix(a, "A")
         b = as_matrix(b, "B")

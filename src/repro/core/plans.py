@@ -1,0 +1,580 @@
+"""Reusable plan/execute engines for the DBT pipelines.
+
+The paper's central property is that the DBT transformations depend only on
+the problem *shape* and the array size ``w`` — never on operand values.
+This module exploits that: a :class:`MatVecPlan` / :class:`MatMulPlan` is
+built once per ``(shape, w)`` from a zero-valued template and captures
+everything shape-determined —
+
+* the band geometry and a vectorized *refill gather* (band diagonal
+  position -> original padded element) derived from the transform's
+  provenance map,
+* the ``x``/output stream tags and the ``y``-source skeleton (which band
+  rows start from ``b`` and which from the feedback chain),
+* for the matrix-matrix case, the partial-result placement, the spiral
+  feedback token plan and the (optional) structural verification,
+* the closed-form analytic model.
+
+Executing a plan only streams values: pad the operands, gather them into
+fresh band storage, substitute the external-source values, and run the
+cycle-accurate simulator.  No :class:`~repro.core.dbt.DBTByRowsTransform`
+or :class:`~repro.core.operands.MatMulOperands` is constructed on the
+execute path, which is what makes repeated same-shape solves — the hot
+path of any serving workload — cheap.
+
+:class:`CachedMatVec` and :class:`CachedMatMul` are small engines that
+memoize one plan per operand shape; the legacy ``SizeIndependent*``
+classes and the :mod:`repro.extensions` pipelines run on top of them, and
+the :mod:`repro.api` façade adds the LRU-cached front door.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..matrices.banded import BandMatrix
+from ..matrices.dense import as_matrix, as_vector
+from ..matrices.padding import pad_matrix, pad_vector, validate_array_size
+from ..systolic.feedback import ExternalSource, FeedbackSource
+from ..systolic.hex_array import CTokenPlan, HexFeedbackSource, HexagonalArray
+from ..systolic.linear_array import LinearContraflowArray, LinearProblem
+from .analytic import MatMulModel, MatVecModel
+from .dbt import DBTByRowsTransform
+from .matmul import MatMulSolution
+from .matvec import MatVecSolution
+from .operands import MatMulOperands
+from .recovery import PartialResultMap
+from .schedule import plan_overlap_partition
+
+__all__ = [
+    "MatVecPlan",
+    "OverlappedMatVecPlan",
+    "MatMulPlan",
+    "CachedMatVec",
+    "CachedMatMul",
+]
+
+
+class _BandGather:
+    """Vectorized refill of one band's value-bearing positions.
+
+    Built once from a provenance map (band position -> original padded
+    element); :meth:`fill` writes the corresponding values of a padded
+    operand into a fresh :class:`~repro.matrices.banded.BandMatrix` one
+    diagonal at a time.  Positions without provenance are structural zeros
+    and stay zero.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        lower: int,
+        upper: int,
+        provenance: Dict[Tuple[int, int], Tuple[int, int]],
+    ):
+        self._rows = rows
+        self._cols = cols
+        self._lower = lower
+        self._upper = upper
+        template = BandMatrix(rows, cols, lower, upper)
+        per_diagonal: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        buckets: Dict[int, List[Tuple[int, int, int]]] = {
+            offset: [] for offset in template.offsets()
+        }
+        for (i, j), (oi, oj) in provenance.items():
+            offset = j - i
+            along = i if offset >= 0 else j
+            buckets[offset].append((along, oi, oj))
+        for offset, entries in buckets.items():
+            entries.sort()
+            along = np.array([e[0] for e in entries], dtype=int)
+            oi = np.array([e[1] for e in entries], dtype=int)
+            oj = np.array([e[2] for e in entries], dtype=int)
+            per_diagonal[offset] = (along, oi, oj)
+        self._per_diagonal = per_diagonal
+
+    def fill(self, padded: np.ndarray) -> BandMatrix:
+        """A fresh band holding ``padded``'s values at the planned positions."""
+        band = BandMatrix(self._rows, self._cols, self._lower, self._upper)
+        for offset, (along, oi, oj) in self._per_diagonal.items():
+            if along.size == 0:
+                continue
+            values = np.zeros(band.diagonal_length(offset), dtype=float)
+            values[along] = padded[oi, oj]
+            band.set_diagonal(offset, values)
+        return band
+
+
+class MatVecPlan:
+    """Shape-keyed execution plan for ``y = A x + b`` on the linear array.
+
+    Immutable once built; :meth:`execute` only streams operand values.
+    """
+
+    def __init__(self, n: int, m: int, w: int, record_trace: bool = False):
+        if n < 1 or m < 1:
+            raise ShapeError(f"matvec plan needs positive dimensions, got ({n}, {m})")
+        self._n = int(n)
+        self._m = int(m)
+        self._w = validate_array_size(w)
+        self._record_trace = bool(record_trace)
+        template = DBTByRowsTransform(np.zeros((self._n, self._m)), self._w)
+        self._template = template
+        self._x_tags = template.x_tags()
+        self._output_tags = template.output_tags()
+        self._x_gather = np.array([tag[1] for tag in self._x_tags], dtype=int)
+        # y-source skeleton: padded b index for external rows, the (frozen,
+        # reusable) FeedbackSource for fed-back rows.
+        self._y_skeleton: List[object] = []
+        for source in template.build_y_sources(None):
+            if isinstance(source, ExternalSource):
+                self._y_skeleton.append(int(source.tag[1]))
+            else:
+                self._y_skeleton.append(source)
+        self._band_gather = _BandGather(
+            template.band_rows,
+            template.band_cols,
+            0,
+            self._w - 1,
+            template.provenance(),
+        )
+        self._useful = self._n * self._m
+        self._model = MatVecModel(n=self._n, m=self._m, w=self._w, overlapped=False)
+        self._array = LinearContraflowArray(self._w, record_trace=self._record_trace)
+
+    # -- geometry -----------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._n, self._m)
+
+    @property
+    def w(self) -> int:
+        return self._w
+
+    @property
+    def record_trace(self) -> bool:
+        return self._record_trace
+
+    @property
+    def transform(self) -> DBTByRowsTransform:
+        """The structural template transform (its band values are zeros)."""
+        return self._template
+
+    @property
+    def model(self) -> MatVecModel:
+        return self._model
+
+    # -- value streaming ------------------------------------------------------------
+    def _validate(
+        self, matrix: np.ndarray, x: np.ndarray, b: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        matrix = as_matrix(matrix, "matrix")
+        if matrix.shape != (self._n, self._m):
+            raise ShapeError(
+                f"plan was built for shape {(self._n, self._m)}, "
+                f"got matrix of shape {matrix.shape}"
+            )
+        x = as_vector(x, "x")
+        if x.shape[0] != matrix.shape[1]:
+            raise ShapeError(
+                f"x has length {x.shape[0]} but the matrix has {matrix.shape[1]} columns"
+            )
+        if b is not None:
+            b = as_vector(b, "b")
+            if b.shape[0] != matrix.shape[0]:
+                raise ShapeError(
+                    f"b has length {b.shape[0]} but the matrix has {matrix.shape[0]} rows"
+                )
+        return matrix, x, b
+
+    def build_problem(
+        self,
+        matrix: np.ndarray,
+        x: np.ndarray,
+        b: Optional[np.ndarray] = None,
+    ) -> LinearProblem:
+        """Stream one operand set into a ready-to-run :class:`LinearProblem`."""
+        matrix, x, b = self._validate(matrix, x, b)
+        padded = pad_matrix(matrix, self._w)
+        band = self._band_gather.fill(padded)
+        x_tilde = pad_vector(x, self._w)[self._x_gather]
+        padded_b = pad_vector(
+            b if b is not None else np.zeros(self._n), self._w
+        )
+        y_sources: List[object] = [
+            source
+            if isinstance(source, FeedbackSource)
+            else ExternalSource(value=float(padded_b[source]), tag=("b", source))
+            for source in self._y_skeleton
+        ]
+        return LinearProblem(
+            band=band,
+            x=x_tilde,
+            y_sources=y_sources,
+            x_tags=self._x_tags,
+            output_tags=self._output_tags,
+            useful_operations=self._useful,
+        )
+
+    def execute(
+        self,
+        matrix: np.ndarray,
+        x: np.ndarray,
+        b: Optional[np.ndarray] = None,
+    ) -> MatVecSolution:
+        """Solve ``y = A x + b`` through the prebuilt plan."""
+        problem = self.build_problem(matrix, x, b)
+        run = self._array.run(problem)
+        y = self._template.recover_y(run.y_per_problem[0])
+        return MatVecSolution(
+            y=y,
+            w=self._w,
+            overlapped=False,
+            transforms=[self._template],
+            run=run,
+            model=self._model,
+        )
+
+    def execute_pair(
+        self,
+        first: Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]],
+        second: Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]],
+    ) -> Tuple[MatVecSolution, MatVecSolution]:
+        """Run two independent same-shape problems overlapped on odd/even cycles.
+
+        This is the paper's overlapping device applied across *requests*
+        instead of across the two halves of one transformed problem: the
+        second problem's schedule is shifted by one cycle into the idle
+        slots, so the pair finishes in roughly half the sequential time.
+        The recovered values are identical to two plain solves.
+        """
+        problems = [self.build_problem(*first), self.build_problem(*second)]
+        run = self._array.run_overlapped(problems)
+        solutions = []
+        for index in range(2):
+            y = self._template.recover_y(run.y_per_problem[index])
+            solutions.append(
+                MatVecSolution(
+                    y=y,
+                    w=self._w,
+                    overlapped=True,
+                    transforms=[self._template],
+                    run=run,
+                    model=self._model,
+                )
+            )
+        return solutions[0], solutions[1]
+
+
+class OverlappedMatVecPlan:
+    """Plan for the paper's split-and-overlap execution of one problem.
+
+    The original problem is cut at an original block-row boundary into two
+    halves whose transformed problems interleave on the array's idle
+    cycles; each half gets its own :class:`MatVecPlan` skeleton.
+    """
+
+    def __init__(self, n: int, m: int, w: int, record_trace: bool = False):
+        self._n = int(n)
+        self._m = int(m)
+        self._w = validate_array_size(w)
+        self._record_trace = bool(record_trace)
+        self._partition = plan_overlap_partition(self._n, self._m, self._w)
+        top = self._partition.first_rows
+        self._top = MatVecPlan(top, self._m, self._w)
+        self._bottom = MatVecPlan(self._n - top, self._m, self._w)
+        self._array = LinearContraflowArray(self._w, record_trace=self._record_trace)
+        self._model = MatVecModel(n=self._n, m=self._m, w=self._w, overlapped=True)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._n, self._m)
+
+    @property
+    def w(self) -> int:
+        return self._w
+
+    @property
+    def model(self) -> MatVecModel:
+        return self._model
+
+    def execute(
+        self,
+        matrix: np.ndarray,
+        x: np.ndarray,
+        b: Optional[np.ndarray] = None,
+    ) -> MatVecSolution:
+        matrix = as_matrix(matrix, "matrix")
+        if matrix.shape != (self._n, self._m):
+            raise ShapeError(
+                f"plan was built for shape {(self._n, self._m)}, "
+                f"got matrix of shape {matrix.shape}"
+            )
+        x = as_vector(x, "x")
+        if x.shape[0] != self._m:
+            raise ShapeError(
+                f"x has length {x.shape[0]} but the matrix has {self._m} columns"
+            )
+        if b is not None:
+            b = as_vector(b, "b")
+            if b.shape[0] != self._n:
+                raise ShapeError(
+                    f"b has length {b.shape[0]} but the matrix has {self._n} rows"
+                )
+        top_rows = self._partition.first_rows
+        top_b = b[:top_rows] if b is not None else None
+        bottom_b = b[top_rows:] if b is not None else None
+        problems = [
+            self._top.build_problem(matrix[:top_rows, :], x, top_b),
+            self._bottom.build_problem(matrix[top_rows:, :], x, bottom_b),
+        ]
+        run = self._array.run_overlapped(problems)
+        y = np.concatenate(
+            [
+                self._top.transform.recover_y(run.y_per_problem[0]),
+                self._bottom.transform.recover_y(run.y_per_problem[1]),
+            ]
+        )
+        return MatVecSolution(
+            y=y,
+            w=self._w,
+            overlapped=True,
+            transforms=[self._top.transform, self._bottom.transform],
+            run=run,
+            model=self._model,
+        )
+
+
+class MatMulPlan:
+    """Shape-keyed execution plan for ``C = A B + E`` on the hexagonal array.
+
+    Captures the operand band geometry, the partial-result placement, the
+    spiral feedback token plan and (optionally, at *plan* time — structure
+    is all that matters) the DBT structural verification.
+    """
+
+    def __init__(self, n: int, p: int, m: int, w: int, verify_structure: bool = False):
+        if n < 1 or p < 1 or m < 1:
+            raise ShapeError(
+                f"matmul plan needs positive dimensions, got ({n}, {p}, {m})"
+            )
+        self._n = int(n)
+        self._p = int(p)
+        self._m = int(m)
+        self._w = validate_array_size(w)
+        operands = MatMulOperands(
+            np.zeros((self._n, self._p)), np.zeros((self._p, self._m)), self._w
+        )
+        if verify_structure:
+            operands.verify_product_coverage()
+            if not operands.inner_origins_consistent():
+                raise ShapeError("operand bands pair inconsistent inner indices")
+        self._operands = operands
+        self._array = HexagonalArray(self._w, self._w)
+        self._placement = PartialResultMap(operands, self._array)
+        a_band = operands.a_operand.band
+        b_band = operands.b_operand.band
+        self._a_gather = _BandGather(
+            a_band.rows, a_band.cols, a_band.lower, a_band.upper,
+            operands.a_operand.provenance,
+        )
+        self._b_gather = _BandGather(
+            b_band.rows, b_band.cols, b_band.lower, b_band.upper,
+            operands.b_operand.provenance,
+        )
+        # Token-plan skeleton: the spiral feedback wiring is value
+        # independent; only the external E injections change per solve.
+        feedback: Dict[Tuple[int, int], object] = {}
+        externals: List[Tuple[Tuple[int, int], int, int]] = []
+        for (alpha, gamma), chain in self._placement.chains.items():
+            first = chain.positions[0]
+            externals.append((first, alpha, gamma))
+            previous = first
+            for position in chain.positions[1:]:
+                feedback[position] = HexFeedbackSource(
+                    source_row=previous[0],
+                    source_col=previous[1],
+                    tag=("c", alpha, gamma),
+                )
+                previous = position
+        self._feedback_sources = feedback
+        self._external_slots = externals
+        self._useful = self._n * self._p * self._m
+        self._model = MatMulModel(n=self._n, p=self._p, m=self._m, w=self._w)
+
+    # -- geometry -----------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Problem dimensions ``(n, p, m)`` of ``C[n,m] = A[n,p] B[p,m]``."""
+        return (self._n, self._p, self._m)
+
+    @property
+    def w(self) -> int:
+        return self._w
+
+    @property
+    def operands(self) -> MatMulOperands:
+        """The structural operand template (its band values are zeros)."""
+        return self._operands
+
+    @property
+    def placement(self) -> PartialResultMap:
+        return self._placement
+
+    @property
+    def model(self) -> MatMulModel:
+        return self._model
+
+    # -- value streaming ------------------------------------------------------------
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        e: Optional[np.ndarray] = None,
+    ) -> MatMulSolution:
+        """Solve ``C = A B + E`` through the prebuilt plan."""
+        a = as_matrix(a, "A")
+        b = as_matrix(b, "B")
+        if a.shape != (self._n, self._p) or b.shape != (self._p, self._m):
+            if a.shape[1] != b.shape[0]:
+                raise ShapeError(f"cannot multiply shapes {a.shape} and {b.shape}")
+            raise ShapeError(
+                f"plan was built for shapes {(self._n, self._p)} x "
+                f"{(self._p, self._m)}, got {a.shape} x {b.shape}"
+            )
+        if e is not None:
+            e = as_matrix(e, "E")
+            if e.shape != (self._n, self._m):
+                raise ShapeError(
+                    f"E must have shape {(self._n, self._m)}, got {e.shape}"
+                )
+
+        a_band = self._a_gather.fill(pad_matrix(a, self._w))
+        b_band = self._b_gather.fill(pad_matrix(b, self._w))
+        plan = CTokenPlan(sources=dict(self._feedback_sources))
+        if e is not None:
+            for first, alpha, gamma in self._external_slots:
+                if alpha < self._n and gamma < self._m:
+                    value = float(e[alpha, gamma])
+                    if value != 0.0:
+                        plan.sources[first] = ExternalSource(
+                            value=value, tag=("e", alpha, gamma)
+                        )
+        run = self._array.run(
+            a_band, b_band, c_plan=plan, useful_operations=self._useful
+        )
+        c = self._placement.recover_c(run.c_band)
+        return MatMulSolution(
+            c=c,
+            w=self._w,
+            operands=self._operands,
+            placement=self._placement,
+            run=run,
+            model=self._model,
+        )
+
+
+class CachedMatVec:
+    """Mat-vec engine memoizing one :class:`MatVecPlan` per operand shape.
+
+    Drop-in for the solve surface of the legacy ``SizeIndependentMatVec``:
+    the first solve of a shape builds the plan, every later solve of the
+    same shape only streams values.  The blocked extension pipelines
+    (triangular solve, Gauss-Seidel, LU) issue many same-shape products,
+    so sharing one engine across a pipeline warms its plans once.
+    """
+
+    #: Per-shape plans kept per engine; least recently used shapes are
+    #: dropped beyond this (a dropped plan is simply rebuilt on demand).
+    MAX_PLANS = 32
+
+    def __init__(self, w: int, record_trace: bool = False, overlapped: bool = False):
+        self._w = validate_array_size(w)
+        self._record_trace = bool(record_trace)
+        self._overlapped = bool(overlapped)
+        self._plans: "OrderedDict[Tuple[int, int], object]" = OrderedDict()
+
+    @property
+    def w(self) -> int:
+        return self._w
+
+    @property
+    def overlapped(self) -> bool:
+        return self._overlapped
+
+    def plan_for(self, n: int, m: int):
+        """The (memoized) plan for one operand shape."""
+        key = (int(n), int(m))
+        plan = self._plans.get(key)
+        if plan is None:
+            if self._overlapped:
+                plan = OverlappedMatVecPlan(
+                    key[0], key[1], self._w, record_trace=self._record_trace
+                )
+            else:
+                plan = MatVecPlan(
+                    key[0], key[1], self._w, record_trace=self._record_trace
+                )
+            self._plans[key] = plan
+            while len(self._plans) > self.MAX_PLANS:
+                self._plans.popitem(last=False)
+        else:
+            self._plans.move_to_end(key)
+        return plan
+
+    def solve(
+        self,
+        matrix: np.ndarray,
+        x: np.ndarray,
+        b: Optional[np.ndarray] = None,
+    ) -> MatVecSolution:
+        matrix = as_matrix(matrix, "matrix")
+        return self.plan_for(*matrix.shape).execute(matrix, x, b)
+
+
+class CachedMatMul:
+    """Mat-mul engine memoizing one :class:`MatMulPlan` per operand shape."""
+
+    #: See :attr:`CachedMatVec.MAX_PLANS`.
+    MAX_PLANS = 32
+
+    def __init__(self, w: int, verify_structure: bool = False):
+        self._w = validate_array_size(w)
+        self._verify_structure = bool(verify_structure)
+        self._plans: "OrderedDict[Tuple[int, int, int], MatMulPlan]" = OrderedDict()
+
+    @property
+    def w(self) -> int:
+        return self._w
+
+    def plan_for(self, n: int, p: int, m: int) -> MatMulPlan:
+        key = (int(n), int(p), int(m))
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = MatMulPlan(
+                key[0], key[1], key[2], self._w,
+                verify_structure=self._verify_structure,
+            )
+            self._plans[key] = plan
+            while len(self._plans) > self.MAX_PLANS:
+                self._plans.popitem(last=False)
+        else:
+            self._plans.move_to_end(key)
+        return plan
+
+    def solve(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        e: Optional[np.ndarray] = None,
+    ) -> MatMulSolution:
+        a = as_matrix(a, "A")
+        b = as_matrix(b, "B")
+        if a.shape[1] != b.shape[0]:
+            raise ShapeError(f"cannot multiply shapes {a.shape} and {b.shape}")
+        return self.plan_for(a.shape[0], a.shape[1], b.shape[1]).execute(a, b, e)

@@ -49,3 +49,11 @@ class SimulationError(ReproError):
 
 class RecoveryError(ReproError):
     """Result recovery from the array output band failed a consistency check."""
+
+
+class ProblemKindError(ReproError, KeyError):
+    """An unknown problem kind was requested from the solver registry."""
+
+
+class PlanError(ReproError):
+    """An execution plan was built or used inconsistently."""

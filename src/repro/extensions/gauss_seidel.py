@@ -24,7 +24,7 @@ import numpy as np
 from ..errors import ShapeError
 from ..matrices.dense import as_matrix, as_vector
 from ..matrices.padding import validate_array_size
-from ..core.matvec import SizeIndependentMatVec
+from ..core.plans import CachedMatVec
 from .triangular import SystolicTriangularSolver
 
 __all__ = ["GaussSeidelResult", "SystolicGaussSeidel"]
@@ -49,7 +49,13 @@ class GaussSeidelResult:
 class SystolicGaussSeidel:
     """Gauss-Seidel solver whose products run on the linear systolic array."""
 
-    def __init__(self, w: int, tolerance: float = 1e-10, max_iterations: int = 200):
+    def __init__(
+        self,
+        w: int,
+        tolerance: float = 1e-10,
+        max_iterations: int = 200,
+        matvec: Optional[CachedMatVec] = None,
+    ):
         self._w = validate_array_size(w)
         if tolerance <= 0:
             raise ValueError(f"tolerance must be > 0, got {tolerance}")
@@ -57,6 +63,10 @@ class SystolicGaussSeidel:
             raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
         self._tolerance = tolerance
         self._max_iterations = max_iterations
+        # One shared engine: the sweep's dense product and the triangular
+        # solver's block products reuse the same per-shape plans.
+        self._matvec = matvec if matvec is not None else CachedMatVec(self._w)
+        self._triangular = SystolicTriangularSolver(self._w, matvec=self._matvec)
 
     @property
     def w(self) -> int:
@@ -85,8 +95,8 @@ class SystolicGaussSeidel:
         if x.shape[0] != n:
             raise ShapeError(f"x0 has length {x.shape[0]}, expected {n}")
 
-        matvec = SizeIndependentMatVec(self._w)
-        triangular = SystolicTriangularSolver(self._w)
+        matvec = self._matvec
+        triangular = self._triangular
         history: List[float] = []
         array_steps = 0
         converged = False

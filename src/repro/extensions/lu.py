@@ -19,14 +19,14 @@ array's share approaching 1 as the problem grows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..errors import ShapeError
 from ..matrices.dense import as_matrix
 from ..matrices.padding import block_count, validate_array_size
-from ..core.matmul import SizeIndependentMatMul
+from ..core.plans import CachedMatMul
 from .triangular import SystolicTriangularSolver
 
 __all__ = ["LUResult", "InverseResult", "SystolicLU"]
@@ -75,10 +75,19 @@ class InverseResult:
 class SystolicLU:
     """Blocked LU factorization and inversion using the systolic pipelines."""
 
-    def __init__(self, w: int):
+    def __init__(
+        self,
+        w: int,
+        matmul: Optional[CachedMatMul] = None,
+        triangular: Optional[SystolicTriangularSolver] = None,
+    ):
         self._w = validate_array_size(w)
-        self._matmul = SizeIndependentMatMul(self._w)
-        self._triangular = SystolicTriangularSolver(self._w)
+        self._matmul = matmul if matmul is not None else CachedMatMul(self._w)
+        self._triangular = (
+            triangular
+            if triangular is not None
+            else SystolicTriangularSolver(self._w)
+        )
 
     @property
     def w(self) -> int:

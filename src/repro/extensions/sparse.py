@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import TransformError
+from ..instrumentation import counters
 from ..matrices.banded import BandMatrix
 from ..matrices.blocks import BlockGrid
 from ..matrices.dense import as_matrix, as_vector
@@ -78,6 +79,7 @@ class BlockSparseDBTTransform:
     """DBT-by-rows restricted to the nonzero blocks of the operand."""
 
     def __init__(self, matrix: np.ndarray, w: int, tolerance: float = 0.0):
+        counters.transform_constructions += 1
         self._w = validate_array_size(w)
         if tolerance < 0.0:
             raise TransformError(f"tolerance must be >= 0, got {tolerance}")
@@ -350,6 +352,7 @@ class BlockSparseMatVec:
     def __init__(self, w: int, tolerance: float = 0.0):
         self._w = validate_array_size(w)
         self._tolerance = tolerance
+        self._array = LinearContraflowArray(self._w)
 
     @property
     def w(self) -> int:
@@ -380,6 +383,6 @@ class BlockSparseMatVec:
             output_tags=transform.output_tags(),
             useful_operations=transform.nonzero_block_count * self._w * self._w,
         )
-        run = LinearContraflowArray(self._w).run(problem)
+        run = self._array.run(problem)
         y = transform.recover_y(run.y_per_problem[0], b)
         return SparseMatVecSolution(y=y, w=self._w, transform=transform, run=run)

@@ -23,14 +23,14 @@ the dominant share as the problem grows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..errors import ShapeError
 from ..matrices.dense import as_matrix, as_vector
 from ..matrices.padding import block_count, validate_array_size
-from ..core.matvec import SizeIndependentMatVec
+from ..core.plans import CachedMatVec
 
 __all__ = ["TriangularSolveResult", "SystolicTriangularSolver"]
 
@@ -57,10 +57,18 @@ class TriangularSolveResult:
 
 
 class SystolicTriangularSolver:
-    """Solve ``T x = b`` for dense triangular ``T`` using the array for products."""
+    """Solve ``T x = b`` for dense triangular ``T`` using the array for products.
 
-    def __init__(self, w: int):
+    ``matvec`` optionally injects a shared matrix-vector engine (anything
+    with the ``solve(matrix, x, b=None)`` surface of
+    :class:`~repro.core.plans.CachedMatVec`); by default the solver owns a
+    :class:`~repro.core.plans.CachedMatVec`, so the per-block products —
+    whose shapes repeat across solves — reuse their execution plans.
+    """
+
+    def __init__(self, w: int, matvec: Optional[CachedMatVec] = None):
         self._w = validate_array_size(w)
+        self._matvec = matvec if matvec is not None else CachedMatVec(self._w)
 
     @property
     def w(self) -> int:
@@ -87,7 +95,7 @@ class SystolicTriangularSolver:
 
         w = self._w
         blocks = block_count(n, w)
-        solver = SizeIndependentMatVec(w)
+        solver = self._matvec
         x = np.zeros(n, dtype=float)
         array_steps = 0
         array_operations = 0

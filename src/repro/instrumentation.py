@@ -1,0 +1,64 @@
+"""Lightweight process-wide counters for the plan/execute split.
+
+The whole point of the :mod:`repro.api` plan cache is that a *warm* solve
+streams operand values through a prebuilt :class:`~repro.api.plan.ExecutionPlan`
+without rebuilding any DBT transform, operand band or partial-result
+placement.  "No transform construction happened" is an invisible property,
+so the transform constructors report to the counters below and tests (and
+the plan-cache benchmark) assert that the counter does not move across a
+warm solve.
+
+The counters are deliberately plain integers on a module-level object:
+they cost one attribute increment per construction, need no locking for
+the CPython use here, and can be snapshotted/diffed from anywhere without
+importing the api layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Counters", "counters", "transform_constructions"]
+
+
+@dataclass
+class Counters:
+    """Process-wide construction/execution counters.
+
+    ``transform_constructions`` counts every value-bearing transform build:
+    :class:`~repro.core.dbt.DBTByRowsTransform` (and its subclasses),
+    :class:`~repro.core.dbt_transposed.DBTTransposedByRowsTransform`,
+    :class:`~repro.core.operands.MatMulOperands` and
+    :class:`~repro.extensions.sparse.BlockSparseDBTTransform`.
+    ``plan_builds`` / ``plan_executions`` are bumped by the api layer.
+    """
+
+    transform_constructions: int = 0
+    plan_builds: int = 0
+    plan_executions: int = 0
+
+    def snapshot(self) -> "Counters":
+        """An independent copy for before/after diffing."""
+        return Counters(
+            transform_constructions=self.transform_constructions,
+            plan_builds=self.plan_builds,
+            plan_executions=self.plan_executions,
+        )
+
+    def delta(self, earlier: "Counters") -> "Counters":
+        """Counter increments since ``earlier`` (a prior :meth:`snapshot`)."""
+        return Counters(
+            transform_constructions=self.transform_constructions
+            - earlier.transform_constructions,
+            plan_builds=self.plan_builds - earlier.plan_builds,
+            plan_executions=self.plan_executions - earlier.plan_executions,
+        )
+
+
+#: The process-wide counter instance.
+counters = Counters()
+
+
+def transform_constructions() -> int:
+    """Convenience accessor for the most frequently asserted counter."""
+    return counters.transform_constructions

@@ -1,0 +1,327 @@
+"""Tests for the unified ``repro.api`` solver façade.
+
+Covers the acceptance criteria of the api redesign: registry dispatch for
+all six primary problem kinds, plan-cache hit/miss accounting, the
+zero-transform-construction property of warm solves, ``solve_batch``
+equivalence with sequential solves, and the legacy deprecation shims.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ArraySpec,
+    ExecutionOptions,
+    ExecutionPlan,
+    Solver,
+    get_handler,
+    registered_kinds,
+)
+from repro.api.plan import PlanCache
+from repro.core.matvec import MatVecSolution, SizeIndependentMatVec
+from repro.core.matmul import MatMulSolution, SizeIndependentMatMul
+from repro.errors import ProblemKindError, ShapeError
+from repro.instrumentation import counters
+
+
+@pytest.fixture
+def solver():
+    return Solver(ArraySpec(w=4))
+
+
+class TestConfig:
+    def test_array_spec_validates(self):
+        assert ArraySpec(3).w == 3
+        assert ArraySpec.of(5).w == 5
+        assert ArraySpec.of(ArraySpec(2)).w == 2
+        with pytest.raises(Exception):
+            ArraySpec(0)
+
+    def test_options_are_hashable_and_mergeable(self):
+        options = ExecutionOptions()
+        assert hash(options) == hash(ExecutionOptions())
+        overlapped = options.merged(overlapped=True)
+        assert overlapped.overlapped and not options.overlapped
+        with pytest.raises(ValueError):
+            ExecutionOptions(gs_max_iterations=0)
+        with pytest.raises(ValueError):
+            ExecutionOptions(sparse_tolerance=-1.0)
+
+
+class TestRegistryDispatch:
+    """All six primary kinds solve correctly through the one façade."""
+
+    def test_kinds_registered(self):
+        kinds = registered_kinds()
+        for kind in ("matvec", "matmul", "lu", "triangular", "gauss_seidel", "sparse"):
+            assert kind in kinds
+
+    def test_unknown_kind_raises(self, solver):
+        with pytest.raises(ProblemKindError):
+            solver.solve("cholesky", np.eye(3))
+        with pytest.raises(ProblemKindError):
+            get_handler("cholesky")
+
+    def test_matvec(self, solver, rng):
+        a = rng.normal(size=(10, 7))
+        x = rng.normal(size=7)
+        b = rng.normal(size=10)
+        solution = solver.solve("matvec", a, x, b)
+        assert solution.kind == "matvec"
+        assert np.allclose(solution.values, a @ x + b)
+        assert solution.measured_steps == solution.predicted_steps
+        assert solution.feedback.count > 0
+        assert solution.feedback.min_delay == solution.feedback.max_delay == 4
+        assert "measured" in solution.summary()
+
+    def test_matmul(self, solver, rng):
+        a = rng.normal(size=(6, 9))
+        b = rng.normal(size=(9, 5))
+        e = rng.normal(size=(6, 5))
+        solution = solver.solve("matmul", a, b, e)
+        assert np.allclose(solution.values, a @ b + e)
+        assert solution.measured_steps == solution.predicted_steps
+        assert solution.feedback.regular is not None
+
+    def test_lu(self, solver, rng):
+        a = rng.normal(size=(6, 6)) + 6 * np.eye(6)
+        solution = solver.solve("lu", a)
+        l, u = solution.values
+        assert np.allclose(l @ u, a)
+        assert 0.0 < solution.stats["array_share"] <= 1.0
+
+    def test_triangular_both_orientations(self, solver, rng):
+        t = np.tril(rng.normal(size=(7, 7))) + 5 * np.eye(7)
+        b = rng.normal(size=7)
+        lower = solver.solve("triangular", t, b, lower=True)
+        assert np.allclose(lower.values, np.linalg.solve(t, b))
+        upper = solver.solve("triangular", t.T, b, lower=False)
+        assert np.allclose(upper.values, np.linalg.solve(t.T, b))
+
+    def test_gauss_seidel(self, solver, rng):
+        a = rng.normal(size=(5, 5)) + 6 * np.eye(5)
+        b = rng.normal(size=5)
+        solution = solver.solve("gauss_seidel", a, b)
+        assert solution.stats["converged"]
+        assert np.allclose(a @ solution.values, b, atol=1e-8)
+
+    def test_sparse(self, solver, rng):
+        a = np.zeros((8, 8))
+        a[:4, :4] = rng.normal(size=(4, 4))
+        x = rng.normal(size=8)
+        solution = solver.solve("sparse", a, x)
+        assert np.allclose(solution.values, a @ x)
+        assert solution.stats["skipped_blocks"] == 3
+        assert solution.measured_steps < solution.stats["dense_steps"]
+
+    def test_baseline_kinds_also_dispatch(self, solver, rng):
+        a = rng.normal(size=(6, 5))
+        x = rng.normal(size=5)
+        for kind in ("naive_matvec", "block_partitioned"):
+            solution = solver.solve(kind, a, x)
+            assert np.allclose(solution.values, a @ x)
+        block = rng.normal(size=(4, 4))
+        x_block = rng.normal(size=4)
+        prt = solver.solve("prt", block, x_block)
+        assert np.allclose(prt.values, block @ x_block)
+        mm = solver.solve("naive_matmul", a.T, a)
+        assert np.allclose(mm.values, a.T @ a)
+
+
+class TestPlanCache:
+    def test_hit_miss_accounting(self, solver, rng):
+        a = rng.normal(size=(10, 7))
+        x = rng.normal(size=7)
+        first = solver.solve("matvec", a, x)
+        second = solver.solve("matvec", a, x)
+        stats = solver.cache_stats
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert not first.from_cache
+        assert second.from_cache
+
+    def test_explicit_plan_then_solve_hits(self, rng):
+        """The acceptance scenario: plan once, solve twice, second hits."""
+        solver = Solver(ArraySpec(w=4))
+        plan = solver.plan("matvec", shape=(10, 7))
+        assert isinstance(plan, ExecutionPlan)
+
+        a = rng.normal(size=(10, 7))
+        x = rng.normal(size=7)
+        b = rng.normal(size=10)
+        first = solver.solve("matvec", a, x, b)
+        assert first.from_cache  # the explicit plan() call seeded the cache
+
+        before = counters.snapshot()
+        second = solver.solve("matvec", a, x, b)
+        delta = counters.delta(before)
+        assert second.from_cache
+        assert delta.transform_constructions == 0  # zero new transform construction
+        assert delta.plan_builds == 0
+        assert np.array_equal(first.values, second.values)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = SizeIndependentMatVec(4).solve(a, x, b)
+        assert np.array_equal(second.values, legacy.y)
+
+    def test_warm_matmul_builds_no_operands(self, solver, rng):
+        a = rng.normal(size=(6, 9))
+        b = rng.normal(size=(9, 5))
+        solver.solve("matmul", a, b)
+        before = counters.snapshot()
+        warm = solver.solve("matmul", a, b)
+        assert warm.from_cache
+        assert counters.delta(before).transform_constructions == 0
+
+    def test_distinct_shapes_and_options_get_distinct_plans(self, solver, rng):
+        a = rng.normal(size=(10, 7))
+        x = rng.normal(size=7)
+        solver.solve("matvec", a, x)
+        solver.solve("matvec", rng.normal(size=(8, 8)), rng.normal(size=8))
+        plain = solver.plan("matvec", shape=(10, 7))
+        overlapped = solver.plan("matvec", shape=(10, 7), overlapped=True)
+        assert plain is not overlapped
+        assert solver.cache_stats.size == 3
+
+    def test_plan_is_immutable(self, solver):
+        plan = solver.plan("matvec", shape=(6, 6))
+        with pytest.raises(AttributeError):
+            plan.kind = "matmul"
+
+    def test_plan_shape_mismatch_raises(self, solver, rng):
+        plan = solver.plan("matvec", shape=(6, 6))
+        with pytest.raises(ShapeError):
+            plan.execute(rng.normal(size=(5, 6)), rng.normal(size=6))
+
+    def test_lru_eviction(self, rng):
+        solver = Solver(ArraySpec(w=3), plan_cache_size=2)
+        for n in (3, 4, 5):
+            solver.solve("matvec", rng.normal(size=(n, 3)), rng.normal(size=3))
+        stats = solver.cache_stats
+        assert stats.size == 2
+        assert stats.evictions == 1
+
+    def test_cache_object_directly(self):
+        cache = PlanCache(maxsize=1)
+        assert cache.get(("matvec", (2, 2), 3, ExecutionOptions())) is None
+        assert cache.stats.misses == 1
+
+
+class TestSolveBatch:
+    def test_batch_matches_sequential(self, rng):
+        solver = Solver(ArraySpec(w=4))
+        batch = [
+            (rng.normal(size=(10, 7)), rng.normal(size=7), rng.normal(size=10))
+            for _ in range(5)
+        ]
+        batched = solver.solve_batch("matvec", batch)
+        sequential = [solver.solve("matvec", *entry) for entry in batch]
+        assert len(batched) == 5
+        for got, want in zip(batched, sequential):
+            assert np.array_equal(got.values, want.values)
+
+    def test_batch_pairs_overlap_and_save_steps(self, rng):
+        solver = Solver(ArraySpec(w=3))
+        batch = [(rng.normal(size=(9, 9)), rng.normal(size=9)) for _ in range(4)]
+        batched = solver.solve_batch("matvec", batch)
+        assert all(solution.stats.get("paired") for solution in batched)
+        # A pair shares one overlapped run: its cycle count is far below
+        # two sequential executions of the paper's plain formula.
+        sequential_steps = solver.solve("matvec", *batch[0]).measured_steps
+        assert batched[0].measured_steps < 2 * sequential_steps * 0.75
+
+    def test_odd_batch_tail_runs_plain(self, rng):
+        solver = Solver(ArraySpec(w=3))
+        batch = [(rng.normal(size=(6, 6)), rng.normal(size=6)) for _ in range(3)]
+        batched = solver.solve_batch("matvec", batch)
+        assert batched[-1].stats.get("paired") is None
+        for entry, solution in zip(batch, batched):
+            assert np.allclose(solution.values, entry[0] @ entry[1])
+
+    def test_mixed_shape_batch_still_correct(self, rng):
+        solver = Solver(ArraySpec(w=3))
+        batch = [
+            (rng.normal(size=(6, 6)), rng.normal(size=6)),
+            (rng.normal(size=(9, 6)), rng.normal(size=6)),
+            (rng.normal(size=(6, 6)), rng.normal(size=6)),
+        ]
+        batched = solver.solve_batch("matvec", batch)
+        for entry, solution in zip(batch, batched):
+            assert np.allclose(solution.values, entry[0] @ entry[1])
+
+    def test_batch_other_kind_is_sequential(self, rng):
+        solver = Solver(ArraySpec(w=3))
+        batch = [
+            (rng.normal(size=(4, 5)), rng.normal(size=(5, 3)))
+            for _ in range(2)
+        ]
+        batched = solver.solve_batch("matmul", batch)
+        for (a, b), solution in zip(batch, batched):
+            assert np.allclose(solution.values, a @ b)
+        assert batched[1].from_cache
+
+
+class TestDeprecationShims:
+    def test_matvec_shim_warns_and_delegates(self, rng):
+        a = rng.normal(size=(7, 5))
+        x = rng.normal(size=5)
+        with pytest.warns(DeprecationWarning):
+            legacy = SizeIndependentMatVec(3)
+        solution = legacy.solve(a, x)
+        assert isinstance(solution, MatVecSolution)
+        api_solution = Solver(ArraySpec(w=3)).solve("matvec", a, x)
+        assert np.array_equal(solution.y, api_solution.values)
+        assert solution.measured_steps == api_solution.measured_steps
+
+    def test_matmul_shim_warns_and_delegates(self, rng):
+        a = rng.normal(size=(4, 5))
+        b = rng.normal(size=(5, 4))
+        with pytest.warns(DeprecationWarning):
+            legacy = SizeIndependentMatMul(3)
+        solution = legacy.solve(a, b)
+        assert isinstance(solution, MatMulSolution)
+        api_solution = Solver(ArraySpec(w=3)).solve("matmul", a, b)
+        assert np.array_equal(solution.c, api_solution.values)
+        assert solution.measured_steps == api_solution.measured_steps
+
+    def test_shim_reuses_plan_across_solves(self, rng):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = SizeIndependentMatVec(3)
+        legacy.solve(rng.normal(size=(6, 6)), rng.normal(size=6))
+        before = counters.snapshot()
+        legacy.solve(rng.normal(size=(6, 6)), rng.normal(size=6))
+        assert counters.delta(before).transform_constructions == 0
+
+
+class TestSolutionProtocol:
+    def test_summary_is_uniform_across_kinds(self, rng):
+        solver = Solver(ArraySpec(w=3))
+        a = rng.normal(size=(6, 6)) + 6 * np.eye(6)
+        solutions = [
+            solver.solve("matvec", a, rng.normal(size=6)),
+            solver.solve("matmul", a, a),
+            solver.solve("lu", a),
+            solver.solve("triangular", np.tril(a), rng.normal(size=6)),
+            solver.solve("gauss_seidel", a, rng.normal(size=6)),
+            solver.solve("sparse", a, rng.normal(size=6)),
+        ]
+        for solution in solutions:
+            text = solution.summary()
+            assert "steps" in text
+            assert "feedback" in text
+            assert solution.plan_key is not None
+
+    def test_report_from_solution(self, rng):
+        from repro.analysis.report import ExperimentReport
+
+        solver = Solver(ArraySpec(w=3))
+        solution = solver.solve("matvec", rng.normal(size=(6, 6)), rng.normal(size=6))
+        report = ExperimentReport.from_solution(solution)
+        assert report.all_match
+        assert len(report.rows) == 2

@@ -41,7 +41,18 @@ class TestExceptionHierarchy:
 
 class TestPublicAPI:
     def test_version_is_exposed(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
+
+    def test_version_matches_package_metadata(self):
+        import pathlib
+        import re
+
+        pyproject = pathlib.Path(__file__).parent.parent / "pyproject.toml"
+        declared = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        assert declared is not None
+        assert repro.__version__ == declared.group(1)
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
