@@ -37,6 +37,7 @@ from .api import (
     Solution,
     Solver,
 )
+from .backends import available_backends, resolve_backend
 from .core.analytic import (
     MatMulModel,
     MatVecModel,
@@ -53,6 +54,7 @@ from .core.operands import MatMulOperands
 from .core.recovery import PartialResultMap
 from .errors import (
     ArraySizeError,
+    BackendError,
     BandwidthError,
     FeedbackError,
     RecoveryError,
@@ -73,6 +75,7 @@ __version__ = "1.1.0"
 __all__ = [
     "ArraySizeError",
     "ArraySpec",
+    "BackendError",
     "BandMatrix",
     "BandwidthError",
     "BlockGrid",
@@ -103,10 +106,12 @@ __all__ = [
     "SpiralFeedbackTopology",
     "TransformError",
     "__version__",
+    "available_backends",
     "dbt_by_rows",
     "dbt_transposed_by_rows",
     "matmul_steps",
     "matmul_utilization",
     "matvec_steps",
     "matvec_utilization",
+    "resolve_backend",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..backends.registry import AUTO_BACKEND, get_backend
 from ..errors import ArraySizeError
 from ..matrices.padding import validate_array_size
 
@@ -59,8 +60,16 @@ class ExecutionOptions:
 
     Fields (consumers in parentheses):
 
+    backend
+        Execution engine streaming values through a compiled plan (all
+        kinds): ``"simulate"`` for the cycle-accurate simulators,
+        ``"vectorized"`` for the NumPy diagonal-sweep engines (identical
+        values and metrics, no cycle-level artifacts), or ``"auto"``
+        (the default) which picks the vectorized engine unless a
+        data-flow trace is requested.
     record_trace
-        Record the cycle-by-cycle data-flow trace (matvec).
+        Record the cycle-by-cycle data-flow trace (matvec; forces the
+        simulator backend under ``backend="auto"``).
     overlapped
         Split the transformed problem at an original block-row boundary
         and interleave the halves on the idle cycles (matvec).
@@ -80,8 +89,11 @@ class ExecutionOptions:
     sparse_tolerance: float = 0.0
     gs_tolerance: float = 1e-10
     gs_max_iterations: int = 200
+    backend: str = AUTO_BACKEND
 
     def __post_init__(self) -> None:
+        if self.backend != AUTO_BACKEND:
+            get_backend(self.backend)  # raises BackendError for unknown names
         if self.sparse_tolerance < 0.0:
             raise ValueError(
                 f"sparse_tolerance must be >= 0, got {self.sparse_tolerance}"

@@ -147,6 +147,12 @@ class PlanCache:
             self._evictions += 1
 
     def clear(self) -> None:
+        """Drop every cached plan.
+
+        Lifetime counters (hits, misses, evictions) deliberately survive:
+        a cleared cache starts empty but its accounting history — and the
+        division-safe ``hit_rate`` derived from it — remains meaningful.
+        """
         self._plans.clear()
 
     def __len__(self) -> int:

@@ -79,8 +79,16 @@ class MatVecHandler(ProblemHandler):
     def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
         n, m = shapes
         if options.overlapped:
-            return OverlappedMatVecPlan(n, m, spec.w, record_trace=options.record_trace)
-        return MatVecPlan(n, m, spec.w, record_trace=options.record_trace)
+            return OverlappedMatVecPlan(
+                n, m, spec.w,
+                record_trace=options.record_trace,
+                backend=options.backend,
+            )
+        return MatVecPlan(
+            n, m, spec.w,
+            record_trace=options.record_trace,
+            backend=options.backend,
+        )
 
     def wrap(self, plan, legacy) -> Solution:
         """Adapt a :class:`~repro.core.matvec.MatVecSolution`."""
@@ -135,7 +143,11 @@ class MatMulHandler(ProblemHandler):
 
     def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
         n, p, m = shapes
-        return MatMulPlan(n, p, m, spec.w, verify_structure=options.verify_structure)
+        return MatMulPlan(
+            n, p, m, spec.w,
+            verify_structure=options.verify_structure,
+            backend=options.backend,
+        )
 
     def wrap(self, plan, legacy) -> Solution:
         classification = legacy.feedback_classification()
@@ -182,7 +194,7 @@ class TriangularHandler(ProblemHandler):
         return _square_side(shape, self.kind)
 
     def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
-        return SystolicTriangularSolver(spec.w)
+        return SystolicTriangularSolver(spec.w, backend=options.backend)
 
     def execute(self, plan, matrix, b, lower: bool = True) -> Solution:
         solver = plan.executor
@@ -222,7 +234,7 @@ class LUHandler(ProblemHandler):
         return _square_side(shape, self.kind)
 
     def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
-        return SystolicLU(spec.w)
+        return SystolicLU(spec.w, backend=options.backend)
 
     def execute(self, plan, matrix) -> Solution:
         result = plan.executor.factor(matrix)
@@ -265,6 +277,7 @@ class GaussSeidelHandler(ProblemHandler):
             spec.w,
             tolerance=options.gs_tolerance,
             max_iterations=options.gs_max_iterations,
+            backend=options.backend,
         )
 
     def execute(self, plan, matrix, b, x0=None) -> Solution:
@@ -304,7 +317,9 @@ class SparseHandler(ProblemHandler):
         return _pair_shape(shape, self.kind)
 
     def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
-        return BlockSparseMatVec(spec.w, tolerance=options.sparse_tolerance)
+        return BlockSparseMatVec(
+            spec.w, tolerance=options.sparse_tolerance, backend=options.backend
+        )
 
     def execute(self, plan, matrix, x, b=None) -> Solution:
         result = plan.executor.solve(matrix, x, b)
@@ -343,7 +358,7 @@ class PRTHandler(ProblemHandler):
         return _pair_shape(shape, self.kind)
 
     def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
-        return PRTMatVec(spec.w)
+        return PRTMatVec(spec.w, backend=options.backend)
 
     def execute(self, plan, matrix, x, b=None) -> Solution:
         result = plan.executor.solve(matrix, x, b)
@@ -391,7 +406,7 @@ class NaiveMatVecHandler(_BlockBaselineHandler):
         return _pair_shape(shape, self.kind)
 
     def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
-        return NaiveBlockMatVec(spec.w)
+        return NaiveBlockMatVec(spec.w, backend=options.backend)
 
     def execute(self, plan, matrix, x, b=None) -> Solution:
         return self._wrap(plan, plan.executor.solve(matrix, x, b))
@@ -415,7 +430,7 @@ class NaiveMatMulHandler(_BlockBaselineHandler):
         return shape
 
     def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
-        return NaiveBlockMatMul(spec.w)
+        return NaiveBlockMatMul(spec.w, backend=options.backend)
 
     def execute(self, plan, a, b, e=None) -> Solution:
         return self._wrap(plan, plan.executor.solve(a, b, e))
@@ -432,7 +447,7 @@ class BlockPartitionedHandler(_BlockBaselineHandler):
         return _pair_shape(shape, self.kind)
 
     def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
-        return BlockPartitionedMatVec(spec.w)
+        return BlockPartitionedMatVec(spec.w, backend=options.backend)
 
     def execute(self, plan, matrix, x, b=None) -> Solution:
         return self._wrap(plan, plan.executor.solve(matrix, x, b))

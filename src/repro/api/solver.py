@@ -130,11 +130,14 @@ class Solver:
     ) -> List[Solution]:
         """Solve a list of operand sets, reusing one plan per shape.
 
-        For the plain (non-overlapped) matvec kind, consecutive requests
-        that share a plan are executed *pairwise overlapped*: the second
-        problem's schedule slots into the idle cycles of the first, so a
+        For the plain (non-overlapped) matvec kind, requests that share a
+        plan are grouped and executed *pairwise overlapped* — the second
+        problem's schedule slots into the idle cycles of the first — so a
         uniform batch finishes in roughly half the sequential array time
-        while producing values identical to sequential solves.
+        while producing values identical to sequential solves.  Grouping
+        happens by plan, not by adjacency: a shape-interleaved batch
+        (A, B, A, B) still pairs the two A's and the two B's.  Results
+        come back in the original batch order.
         """
         handler = get_handler(kind)
         opts = self._resolve_options(options, {})
@@ -148,35 +151,40 @@ class Solver:
 
         results: List[Optional[Solution]] = [None] * len(entries)
         pair_capable = kind == "matvec" and not opts.overlapped
-        index = 0
-        while index < len(entries):
+        if pair_capable:
+            groups: "dict[int, List[int]]" = {}
+            for index, (plan, _hit) in enumerate(planned):
+                groups.setdefault(id(plan), []).append(index)
+            pending: List[int] = []
+            for indices in groups.values():
+                for position in range(0, len(indices) - 1, 2):
+                    first, second = indices[position], indices[position + 1]
+                    plan = planned[first][0]
+                    counters.plan_executions += 2
+                    legacy_a, legacy_b = plan.executor.execute_pair(
+                        entries[first], entries[second]
+                    )
+                    for index, legacy in ((first, legacy_a), (second, legacy_b)):
+                        solution = handler.wrap(plan, legacy)
+                        solution.from_cache = planned[index][1]
+                        solution.stats["paired"] = True
+                        # The paper's closed forms cover a standalone
+                        # problem (plain or split-overlapped), not two
+                        # interleaved requests sharing one run; drop the
+                        # predictions rather than report a false model
+                        # mismatch.
+                        solution.predicted_steps = None
+                        solution.predicted_utilization = None
+                        results[index] = solution
+                if len(indices) % 2:
+                    pending.append(indices[-1])
+        else:
+            pending = list(range(len(entries)))
+        for index in pending:
             plan, hit = planned[index]
-            if (
-                pair_capable
-                and index + 1 < len(entries)
-                and planned[index + 1][0] is plan
-            ):
-                counters.plan_executions += 2
-                legacy_a, legacy_b = plan.executor.execute_pair(
-                    entries[index], entries[index + 1]
-                )
-                for offset, legacy in ((0, legacy_a), (1, legacy_b)):
-                    solution = handler.wrap(plan, legacy)
-                    solution.from_cache = planned[index + offset][1]
-                    solution.stats["paired"] = True
-                    # The paper's closed forms cover a standalone problem
-                    # (plain or split-overlapped), not two interleaved
-                    # requests sharing one run; drop the predictions
-                    # rather than report a false model mismatch.
-                    solution.predicted_steps = None
-                    solution.predicted_utilization = None
-                    results[index + offset] = solution
-                index += 2
-            else:
-                solution = plan.execute(*entries[index])
-                solution.from_cache = hit
-                results[index] = solution
-                index += 1
+            solution = plan.execute(*entries[index])
+            solution.from_cache = hit
+            results[index] = solution
         return results
 
     # -- internals ----------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""The execution-backend registry.
+
+The package can *execute* a compiled plan in more than one way:
+
+``simulate``
+    The register-level / cycle-faithful simulators in
+    :mod:`repro.systolic`.  Authoritative for anything cycle-level —
+    data-flow traces, output streams, per-cell activity — and the
+    reference the other backends are checked against.
+
+``vectorized``
+    The NumPy diagonal-sweep engines in
+    :mod:`repro.backends.vectorized`.  They replay the *same* sequence
+    of multiply-accumulates each array cell would perform — one shifted
+    multiply/add sweep per band diagonal, partial results carried
+    between sweeps exactly as the feedback hardware carries them — so
+    the recovered values are bit-identical to the simulator's, and the
+    step/utilization metrics are produced from the same structural
+    quantities.  No per-cycle state is kept, which makes large-``N``
+    solves orders of magnitude faster.
+
+``auto``
+    Resolution rule, not an engine: ``vectorized`` when only values and
+    metrics are needed, ``simulate`` when a cycle-level artifact (a
+    data-flow trace) was requested.
+
+Backends are registered as :class:`BackendSpec` descriptors so that new
+engines (a GPU sweep, a distributed executor) plug in without touching
+the plan code: register a spec, teach the plans to dispatch on its name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import BackendError
+
+__all__ = [
+    "BackendSpec",
+    "AUTO_BACKEND",
+    "SIMULATE",
+    "VECTORIZED",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "resolve_backend",
+]
+
+#: Name of the resolution pseudo-backend.
+AUTO_BACKEND = "auto"
+#: Name of the cycle-accurate simulator backend.
+SIMULATE = "simulate"
+#: Name of the NumPy diagonal-sweep backend.
+VECTORIZED = "vectorized"
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Descriptor of one execution backend.
+
+    ``supports_trace`` declares whether the backend can produce the
+    cycle-by-cycle data-flow artifacts (:class:`~repro.systolic.trace.DataFlowTrace`,
+    tagged output streams); ``auto`` resolution falls back to a
+    trace-capable backend whenever a trace is requested.
+    """
+
+    name: str
+    description: str
+    supports_trace: bool = False
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec) -> BackendSpec:
+    """Register a backend descriptor under its name (last one wins)."""
+    if not spec.name or spec.name == AUTO_BACKEND:
+        raise BackendError(f"invalid backend name {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_backend(name: str) -> BackendSpec:
+    """The descriptor for ``name``; raises :class:`BackendError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY) + [AUTO_BACKEND])
+        raise BackendError(
+            f"unknown execution backend {name!r}; available: {known}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """All registered backend names, sorted (``auto`` is a rule, not a backend)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(name: str = AUTO_BACKEND, record_trace: bool = False) -> str:
+    """Resolve a requested backend name into a concrete engine name.
+
+    ``auto`` picks ``vectorized`` for plain value/metric execution and
+    ``simulate`` when a data-flow trace is requested.  An explicit
+    backend that cannot produce a requested trace raises
+    :class:`~repro.errors.BackendError` instead of silently dropping the
+    trace.
+    """
+    if name == AUTO_BACKEND:
+        return SIMULATE if record_trace else VECTORIZED
+    spec = get_backend(name)
+    if record_trace and not spec.supports_trace:
+        raise BackendError(
+            f"backend {name!r} cannot record a data-flow trace; use "
+            f"backend={SIMULATE!r} (or backend={AUTO_BACKEND!r}) when "
+            f"record_trace is set"
+        )
+    return spec.name
+
+
+register_backend(
+    BackendSpec(
+        name=SIMULATE,
+        description="register-level cycle-accurate array simulators",
+        supports_trace=True,
+    )
+)
+register_backend(
+    BackendSpec(
+        name=VECTORIZED,
+        description="NumPy diagonal-sweep engines (bit-identical values, no cycle state)",
+        supports_trace=False,
+    )
+)

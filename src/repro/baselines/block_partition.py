@@ -27,6 +27,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..backends.registry import VECTORIZED, resolve_backend
+from ..backends.vectorized import LinearSweepPlan, linear_total_cycles
 from ..errors import ShapeError
 from ..matrices.blocks import BlockGrid
 from ..matrices.dense import as_matrix, as_vector
@@ -59,8 +61,18 @@ class BlockPartitionedResult:
 class BlockPartitionedMatVec:
     """``y = A x + b`` block by block on a ``w`` cell array, host accumulation."""
 
-    def __init__(self, w: int):
+    def __init__(self, w: int, backend: str = "simulate"):
         self._w = validate_array_size(w)
+        self._backend = resolve_backend(backend)
+        # One shape-keyed sweep skeleton serves every w x w block.
+        self._sweep = (
+            LinearSweepPlan(
+                w=self._w, n=self._w, m=self._w, n_bar=1, m_bar=1,
+                useful_operations=self._w * self._w,
+            )
+            if self._backend == VECTORIZED
+            else None
+        )
 
     @property
     def w(self) -> int:
@@ -98,25 +110,31 @@ class BlockPartitionedMatVec:
         runs = 0
         for i in range(grid.block_rows):
             for j in range(grid.block_cols):
-                transform = DBTByRowsTransform(grid.block(i, j), w)
-                sources: List[object] = [
-                    ExternalSource(value=0.0, tag=("b", i * w + offset))
-                    for offset in range(w)
-                ]
-                problem = LinearProblem(
-                    band=transform.band,
-                    x=transform.transform_x(x_padded[j * w : (j + 1) * w]),
-                    y_sources=sources,
-                    x_tags=transform.x_tags(),
-                    output_tags=transform.output_tags(),
-                )
-                run = array.run(problem)
-                total_steps += run.total_cycles
-                total_macs += run.report.mac_operations
+                if self._sweep is not None:
+                    _outputs, partial = self._sweep.sweep(
+                        grid.block(i, j), x_padded[j * w : (j + 1) * w], None
+                    )
+                    total_steps += linear_total_cycles(w, self._sweep.band_rows)
+                    total_macs += self._sweep.mac_operations
+                else:
+                    transform = DBTByRowsTransform(grid.block(i, j), w)
+                    sources: List[object] = [
+                        ExternalSource(value=0.0, tag=("b", i * w + offset))
+                        for offset in range(w)
+                    ]
+                    problem = LinearProblem(
+                        band=transform.band,
+                        x=transform.transform_x(x_padded[j * w : (j + 1) * w]),
+                        y_sources=sources,
+                        x_tags=transform.x_tags(),
+                        output_tags=transform.output_tags(),
+                    )
+                    run = array.run(problem)
+                    total_steps += run.total_cycles
+                    total_macs += run.report.mac_operations
+                    partial = transform.recover_y(run.y_per_problem[0])
                 runs += 1
-                y_padded[i * w : (i + 1) * w] += transform.recover_y(
-                    run.y_per_problem[0]
-                )
+                y_padded[i * w : (i + 1) * w] += partial
                 external_additions += w
 
         return BlockPartitionedResult(

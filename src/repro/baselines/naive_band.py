@@ -25,6 +25,12 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..backends.registry import VECTORIZED, resolve_backend
+from ..backends.vectorized import (
+    full_band_block_matmul,
+    full_band_block_matvec,
+    hex_structural_metrics,
+)
 from ..errors import ShapeError
 from ..matrices.banded import BandMatrix
 from ..matrices.blocks import BlockGrid
@@ -59,8 +65,9 @@ class NaiveBaselineResult:
 class NaiveBlockMatVec:
     """``y = A x + b`` computed block by block on a ``2w - 1`` cell array."""
 
-    def __init__(self, w: int):
+    def __init__(self, w: int, backend: str = "simulate"):
         self._w = validate_array_size(w)
+        self._backend = resolve_backend(backend)
 
     @property
     def w(self) -> int:
@@ -100,22 +107,33 @@ class NaiveBlockMatVec:
         for i in range(grid.block_rows):
             for j in range(grid.block_cols):
                 block = grid.block(i, j)
-                band = BandMatrix.from_dense(block, lower=w - 1, upper=w - 1)
-                sources: List[object] = [
-                    ExternalSource(value=0.0, tag=("b", i * w + offset))
-                    for offset in range(w)
-                ]
-                problem = LinearProblem(
-                    band=band,
-                    x=x_padded[j * w : (j + 1) * w],
-                    y_sources=sources,
-                )
-                run = array.run(problem)
-                total_steps += run.total_cycles
-                total_macs += run.report.mac_operations
+                if self._backend == VECTORIZED:
+                    partial = full_band_block_matvec(
+                        block, x_padded[j * w : (j + 1) * w]
+                    )
+                    # A full-bandwidth w x w block on 2w - 1 cells: last
+                    # of the w rows injected at cycle 2 (w - 1), then
+                    # 2w - 1 cells; all w^2 band positions compute.
+                    total_steps += 2 * (w - 1) + self.array_size
+                    total_macs += w * w
+                else:
+                    band = BandMatrix.from_dense(block, lower=w - 1, upper=w - 1)
+                    sources: List[object] = [
+                        ExternalSource(value=0.0, tag=("b", i * w + offset))
+                        for offset in range(w)
+                    ]
+                    problem = LinearProblem(
+                        band=band,
+                        x=x_padded[j * w : (j + 1) * w],
+                        y_sources=sources,
+                    )
+                    run = array.run(problem)
+                    total_steps += run.total_cycles
+                    total_macs += run.report.mac_operations
+                    partial = run.y_per_problem[0]
                 runs += 1
                 # The host adds the block's partial result into y.
-                y_padded[i * w : (i + 1) * w] += run.y_per_problem[0]
+                y_padded[i * w : (i + 1) * w] += partial
                 external_additions += w
 
         return NaiveBaselineResult(
@@ -131,8 +149,16 @@ class NaiveBlockMatVec:
 class NaiveBlockMatMul:
     """``C = A B + E`` computed block by block on a ``(2w-1) x (2w-1)`` array."""
 
-    def __init__(self, w: int):
+    def __init__(self, w: int, backend: str = "simulate"):
         self._w = validate_array_size(w)
+        self._backend = resolve_backend(backend)
+        if self._backend == VECTORIZED:
+            band = self._w - 1  # each dense block runs as a full band
+            self._block_metrics = hex_structural_metrics(
+                self._w, self._w, band, band, self._w, self._w, band, band
+            )
+        else:
+            self._block_metrics = None
 
     @property
     def w(self) -> int:
@@ -169,20 +195,26 @@ class NaiveBlockMatMul:
         for i in range(a_grid.block_rows):
             for j in range(b_grid.block_cols):
                 for k in range(a_grid.block_cols):
-                    band_a = BandMatrix.from_dense(
-                        a_grid.block(i, k), lower=w - 1, upper=w - 1
-                    )
-                    band_b = BandMatrix.from_dense(
-                        b_grid.block(k, j), lower=w - 1, upper=w - 1
-                    )
-                    run = array.run(band_a, band_b, c_plan=CTokenPlan())
-                    total_steps += run.c_stream_cycles
-                    total_macs += run.report.mac_operations
+                    if self._block_metrics is not None:
+                        product = full_band_block_matmul(
+                            a_grid.block(i, k), b_grid.block(k, j)
+                        )
+                        total_steps += self._block_metrics.c_stream_cycles
+                        total_macs += self._block_metrics.mac_operations
+                    else:
+                        band_a = BandMatrix.from_dense(
+                            a_grid.block(i, k), lower=w - 1, upper=w - 1
+                        )
+                        band_b = BandMatrix.from_dense(
+                            b_grid.block(k, j), lower=w - 1, upper=w - 1
+                        )
+                        run = array.run(band_a, band_b, c_plan=CTokenPlan())
+                        total_steps += run.c_stream_cycles
+                        total_macs += run.report.mac_operations
+                        product = run.c_band.to_dense()
                     runs += 1
                     # The host accumulates the block product into C.
-                    c_padded[i * w : (i + 1) * w, j * w : (j + 1) * w] += (
-                        run.c_band.to_dense()
-                    )
+                    c_padded[i * w : (i + 1) * w, j * w : (j + 1) * w] += product
                     external_additions += w * w
 
         return NaiveBaselineResult(

@@ -70,9 +70,9 @@ class PRTSolution:
 class PRTMatVec:
     """``y = A x + b`` for one ``w x w`` dense block via the PRT transformation."""
 
-    def __init__(self, w: int):
+    def __init__(self, w: int, backend: str = "simulate"):
         self._w = validate_array_size(w)
-        self._engine = CachedMatVec(self._w)
+        self._engine = CachedMatVec(self._w, backend=backend)
 
     @property
     def w(self) -> int:

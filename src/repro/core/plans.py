@@ -15,12 +15,17 @@ everything shape-determined —
   feedback token plan and the (optional) structural verification,
 * the closed-form analytic model.
 
-Executing a plan only streams values: pad the operands, gather them into
-fresh band storage, substitute the external-source values, and run the
-cycle-accurate simulator.  No :class:`~repro.core.dbt.DBTByRowsTransform`
-or :class:`~repro.core.operands.MatMulOperands` is constructed on the
-execute path, which is what makes repeated same-shape solves — the hot
-path of any serving workload — cheap.
+Executing a plan only streams values, through one of two backends: the
+cycle-accurate simulators of :mod:`repro.systolic` (``backend="simulate"``,
+the default for direct construction) or the NumPy diagonal-sweep engines
+of :mod:`repro.backends.vectorized` (``backend="vectorized"``; the api
+layer's ``"auto"`` default resolves to it), which replay the same
+multiply-accumulate order without per-cycle state and produce
+bit-identical values and metrics.  No
+:class:`~repro.core.dbt.DBTByRowsTransform` or
+:class:`~repro.core.operands.MatMulOperands` is constructed on the
+execute path either way, which is what makes repeated same-shape solves —
+the hot path of any serving workload — cheap.
 
 :class:`CachedMatVec` and :class:`CachedMatMul` are small engines that
 memoize one plan per operand shape; the legacy ``SizeIndependent*``
@@ -35,6 +40,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..backends.registry import SIMULATE, VECTORIZED, resolve_backend
+from ..backends.vectorized import HexSweepPlan, LinearSweepPlan, build_linear_run
 from ..errors import ShapeError
 from ..matrices.banded import BandMatrix
 from ..matrices.dense import as_matrix, as_vector
@@ -116,13 +123,21 @@ class MatVecPlan:
     Immutable once built; :meth:`execute` only streams operand values.
     """
 
-    def __init__(self, n: int, m: int, w: int, record_trace: bool = False):
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        w: int,
+        record_trace: bool = False,
+        backend: str = SIMULATE,
+    ):
         if n < 1 or m < 1:
             raise ShapeError(f"matvec plan needs positive dimensions, got ({n}, {m})")
         self._n = int(n)
         self._m = int(m)
         self._w = validate_array_size(w)
         self._record_trace = bool(record_trace)
+        self._backend = resolve_backend(backend, record_trace=self._record_trace)
         template = DBTByRowsTransform(np.zeros((self._n, self._m)), self._w)
         self._template = template
         self._x_tags = template.x_tags()
@@ -146,6 +161,16 @@ class MatVecPlan:
         self._useful = self._n * self._m
         self._model = MatVecModel(n=self._n, m=self._m, w=self._w, overlapped=False)
         self._array = LinearContraflowArray(self._w, record_trace=self._record_trace)
+        self._sweep: Optional[LinearSweepPlan] = None
+        if self._backend == VECTORIZED:
+            self._sweep = LinearSweepPlan(
+                w=self._w,
+                n=self._n,
+                m=self._m,
+                n_bar=template.n_bar,
+                m_bar=template.m_bar,
+                useful_operations=self._useful,
+            )
 
     # -- geometry -----------------------------------------------------------------
     @property
@@ -155,6 +180,11 @@ class MatVecPlan:
     @property
     def w(self) -> int:
         return self._w
+
+    @property
+    def backend(self) -> str:
+        """The resolved execution backend (``simulate`` or ``vectorized``)."""
+        return self._backend
 
     @property
     def record_trace(self) -> bool:
@@ -228,9 +258,15 @@ class MatVecPlan:
         b: Optional[np.ndarray] = None,
     ) -> MatVecSolution:
         """Solve ``y = A x + b`` through the prebuilt plan."""
-        problem = self.build_problem(matrix, x, b)
-        run = self._array.run(problem)
-        y = self._template.recover_y(run.y_per_problem[0])
+        if self._sweep is not None:
+            matrix, x, b = self._validate(matrix, x, b)
+            band_outputs, y_padded = self._sweep.sweep(matrix, x, b)
+            run = build_linear_run(self._w, [self._sweep], [band_outputs])
+            y = y_padded[: self._n].copy()
+        else:
+            problem = self.build_problem(matrix, x, b)
+            run = self._array.run(problem)
+            y = self._template.recover_y(run.y_per_problem[0])
         return MatVecSolution(
             y=y,
             w=self._w,
@@ -253,11 +289,26 @@ class MatVecPlan:
         slots, so the pair finishes in roughly half the sequential time.
         The recovered values are identical to two plain solves.
         """
-        problems = [self.build_problem(*first), self.build_problem(*second)]
-        run = self._array.run_overlapped(problems)
+        if self._sweep is not None:
+            swept = [
+                self._sweep.sweep(*self._validate(*operands))
+                for operands in (first, second)
+            ]
+            run = build_linear_run(
+                self._w,
+                [self._sweep, self._sweep],
+                [band_outputs for band_outputs, _y in swept],
+            )
+            ys = [y_padded[: self._n].copy() for _outputs, y_padded in swept]
+        else:
+            problems = [self.build_problem(*first), self.build_problem(*second)]
+            run = self._array.run_overlapped(problems)
+            ys = [
+                self._template.recover_y(run.y_per_problem[index])
+                for index in range(2)
+            ]
         solutions = []
-        for index in range(2):
-            y = self._template.recover_y(run.y_per_problem[index])
+        for y in ys:
             solutions.append(
                 MatVecSolution(
                     y=y,
@@ -279,15 +330,23 @@ class OverlappedMatVecPlan:
     cycles; each half gets its own :class:`MatVecPlan` skeleton.
     """
 
-    def __init__(self, n: int, m: int, w: int, record_trace: bool = False):
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        w: int,
+        record_trace: bool = False,
+        backend: str = SIMULATE,
+    ):
         self._n = int(n)
         self._m = int(m)
         self._w = validate_array_size(w)
         self._record_trace = bool(record_trace)
+        self._backend = resolve_backend(backend, record_trace=self._record_trace)
         self._partition = plan_overlap_partition(self._n, self._m, self._w)
         top = self._partition.first_rows
-        self._top = MatVecPlan(top, self._m, self._w)
-        self._bottom = MatVecPlan(self._n - top, self._m, self._w)
+        self._top = MatVecPlan(top, self._m, self._w, backend=self._backend)
+        self._bottom = MatVecPlan(self._n - top, self._m, self._w, backend=self._backend)
         self._array = LinearContraflowArray(self._w, record_trace=self._record_trace)
         self._model = MatVecModel(n=self._n, m=self._m, w=self._w, overlapped=True)
 
@@ -298,6 +357,11 @@ class OverlappedMatVecPlan:
     @property
     def w(self) -> int:
         return self._w
+
+    @property
+    def backend(self) -> str:
+        """The resolved execution backend (``simulate`` or ``vectorized``)."""
+        return self._backend
 
     @property
     def model(self) -> MatVecModel:
@@ -329,6 +393,29 @@ class OverlappedMatVecPlan:
         top_rows = self._partition.first_rows
         top_b = b[:top_rows] if b is not None else None
         bottom_b = b[top_rows:] if b is not None else None
+        if self._backend == VECTORIZED:
+            top_outputs, top_y = self._top._sweep.sweep(
+                matrix[:top_rows, :], x, top_b
+            )
+            bottom_outputs, bottom_y = self._bottom._sweep.sweep(
+                matrix[top_rows:, :], x, bottom_b
+            )
+            run = build_linear_run(
+                self._w,
+                [self._top._sweep, self._bottom._sweep],
+                [top_outputs, bottom_outputs],
+            )
+            y = np.concatenate(
+                [top_y[:top_rows], bottom_y[: self._n - top_rows]]
+            )
+            return MatVecSolution(
+                y=y,
+                w=self._w,
+                overlapped=True,
+                transforms=[self._top.transform, self._bottom.transform],
+                run=run,
+                model=self._model,
+            )
         problems = [
             self._top.build_problem(matrix[:top_rows, :], x, top_b),
             self._bottom.build_problem(matrix[top_rows:, :], x, bottom_b),
@@ -358,11 +445,20 @@ class MatMulPlan:
     is all that matters) the DBT structural verification.
     """
 
-    def __init__(self, n: int, p: int, m: int, w: int, verify_structure: bool = False):
+    def __init__(
+        self,
+        n: int,
+        p: int,
+        m: int,
+        w: int,
+        verify_structure: bool = False,
+        backend: str = SIMULATE,
+    ):
         if n < 1 or p < 1 or m < 1:
             raise ShapeError(
                 f"matmul plan needs positive dimensions, got ({n}, {p}, {m})"
             )
+        self._backend = resolve_backend(backend)
         self._n = int(n)
         self._p = int(p)
         self._m = int(m)
@@ -406,6 +502,9 @@ class MatMulPlan:
         self._external_slots = externals
         self._useful = self._n * self._p * self._m
         self._model = MatMulModel(n=self._n, p=self._p, m=self._m, w=self._w)
+        self._hex_sweep: Optional[HexSweepPlan] = None
+        if self._backend == VECTORIZED:
+            self._hex_sweep = HexSweepPlan(operands, self._placement, self._useful)
 
     # -- geometry -----------------------------------------------------------------
     @property
@@ -416,6 +515,11 @@ class MatMulPlan:
     @property
     def w(self) -> int:
         return self._w
+
+    @property
+    def backend(self) -> str:
+        """The resolved execution backend (``simulate`` or ``vectorized``)."""
+        return self._backend
 
     @property
     def operands(self) -> MatMulOperands:
@@ -453,6 +557,17 @@ class MatMulPlan:
                 raise ShapeError(
                     f"E must have shape {(self._n, self._m)}, got {e.shape}"
                 )
+
+        if self._hex_sweep is not None:
+            c, run = self._hex_sweep.execute(a, b, e)
+            return MatMulSolution(
+                c=c,
+                w=self._w,
+                operands=self._operands,
+                placement=self._placement,
+                run=run,
+                model=self._model,
+            )
 
         a_band = self._a_gather.fill(pad_matrix(a, self._w))
         b_band = self._b_gather.fill(pad_matrix(b, self._w))
@@ -493,10 +608,17 @@ class CachedMatVec:
     #: dropped beyond this (a dropped plan is simply rebuilt on demand).
     MAX_PLANS = 32
 
-    def __init__(self, w: int, record_trace: bool = False, overlapped: bool = False):
+    def __init__(
+        self,
+        w: int,
+        record_trace: bool = False,
+        overlapped: bool = False,
+        backend: str = SIMULATE,
+    ):
         self._w = validate_array_size(w)
         self._record_trace = bool(record_trace)
         self._overlapped = bool(overlapped)
+        self._backend = resolve_backend(backend, record_trace=self._record_trace)
         self._plans: "OrderedDict[Tuple[int, int], object]" = OrderedDict()
 
     @property
@@ -507,6 +629,10 @@ class CachedMatVec:
     def overlapped(self) -> bool:
         return self._overlapped
 
+    @property
+    def backend(self) -> str:
+        return self._backend
+
     def plan_for(self, n: int, m: int):
         """The (memoized) plan for one operand shape."""
         key = (int(n), int(m))
@@ -514,11 +640,15 @@ class CachedMatVec:
         if plan is None:
             if self._overlapped:
                 plan = OverlappedMatVecPlan(
-                    key[0], key[1], self._w, record_trace=self._record_trace
+                    key[0], key[1], self._w,
+                    record_trace=self._record_trace,
+                    backend=self._backend,
                 )
             else:
                 plan = MatVecPlan(
-                    key[0], key[1], self._w, record_trace=self._record_trace
+                    key[0], key[1], self._w,
+                    record_trace=self._record_trace,
+                    backend=self._backend,
                 )
             self._plans[key] = plan
             while len(self._plans) > self.MAX_PLANS:
@@ -543,14 +673,19 @@ class CachedMatMul:
     #: See :attr:`CachedMatVec.MAX_PLANS`.
     MAX_PLANS = 32
 
-    def __init__(self, w: int, verify_structure: bool = False):
+    def __init__(self, w: int, verify_structure: bool = False, backend: str = SIMULATE):
         self._w = validate_array_size(w)
         self._verify_structure = bool(verify_structure)
+        self._backend = resolve_backend(backend)
         self._plans: "OrderedDict[Tuple[int, int, int], MatMulPlan]" = OrderedDict()
 
     @property
     def w(self) -> int:
         return self._w
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     def plan_for(self, n: int, p: int, m: int) -> MatMulPlan:
         key = (int(n), int(p), int(m))
@@ -559,6 +694,7 @@ class CachedMatMul:
             plan = MatMulPlan(
                 key[0], key[1], key[2], self._w,
                 verify_structure=self._verify_structure,
+                backend=self._backend,
             )
             self._plans[key] = plan
             while len(self._plans) > self.MAX_PLANS:

@@ -57,3 +57,9 @@ class ProblemKindError(ReproError, KeyError):
 
 class PlanError(ReproError):
     """An execution plan was built or used inconsistently."""
+
+
+class BackendError(ReproError, ValueError):
+    """An unknown execution backend was requested, or the requested
+    backend cannot satisfy the execution options (e.g. a data-flow trace
+    from the vectorized engine)."""

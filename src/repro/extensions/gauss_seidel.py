@@ -55,6 +55,7 @@ class SystolicGaussSeidel:
         tolerance: float = 1e-10,
         max_iterations: int = 200,
         matvec: Optional[CachedMatVec] = None,
+        backend: str = "auto",
     ):
         self._w = validate_array_size(w)
         if tolerance <= 0:
@@ -65,7 +66,9 @@ class SystolicGaussSeidel:
         self._max_iterations = max_iterations
         # One shared engine: the sweep's dense product and the triangular
         # solver's block products reuse the same per-shape plans.
-        self._matvec = matvec if matvec is not None else CachedMatVec(self._w)
+        self._matvec = (
+            matvec if matvec is not None else CachedMatVec(self._w, backend=backend)
+        )
         self._triangular = SystolicTriangularSolver(self._w, matvec=self._matvec)
 
     @property

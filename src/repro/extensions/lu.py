@@ -80,13 +80,16 @@ class SystolicLU:
         w: int,
         matmul: Optional[CachedMatMul] = None,
         triangular: Optional[SystolicTriangularSolver] = None,
+        backend: str = "auto",
     ):
         self._w = validate_array_size(w)
-        self._matmul = matmul if matmul is not None else CachedMatMul(self._w)
+        self._matmul = (
+            matmul if matmul is not None else CachedMatMul(self._w, backend=backend)
+        )
         self._triangular = (
             triangular
             if triangular is not None
-            else SystolicTriangularSolver(self._w)
+            else SystolicTriangularSolver(self._w, backend=backend)
         )
 
     @property

@@ -41,6 +41,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backends.registry import VECTORIZED, resolve_backend
+from ..backends.vectorized import build_banded_linear_run
 from ..errors import TransformError
 from ..instrumentation import counters
 from ..matrices.banded import BandMatrix
@@ -347,16 +349,28 @@ class SparseMatVecSolution:
 
 
 class BlockSparseMatVec:
-    """``y = A x + b`` for block-sparse dense-stored ``A`` on a ``w``-cell array."""
+    """``y = A x + b`` for block-sparse dense-stored ``A`` on a ``w``-cell array.
 
-    def __init__(self, w: int, tolerance: float = 0.0):
+    The transformation is value dependent (it follows the sparsity
+    pattern), so it is rebuilt per solve on either backend; ``backend``
+    only selects how the resulting band problem executes — the
+    cycle-accurate simulator or the vectorized diagonal sweeps (the
+    ``"auto"`` default).
+    """
+
+    def __init__(self, w: int, tolerance: float = 0.0, backend: str = "auto"):
         self._w = validate_array_size(w)
         self._tolerance = tolerance
+        self._backend = resolve_backend(backend)
         self._array = LinearContraflowArray(self._w)
 
     @property
     def w(self) -> int:
         return self._w
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     def solve(
         self,
@@ -375,14 +389,63 @@ class BlockSparseMatVec:
             y = np.zeros(matrix.shape[0]) if b is None else as_vector(b, "b").copy()
             return SparseMatVecSolution(y=y, w=self._w, transform=transform, run=None)
 
-        problem = LinearProblem(
-            band=transform.band,
-            x=transform.transform_x(x),
-            y_sources=transform.build_y_sources(b),
-            x_tags=transform.x_tags(),
-            output_tags=transform.output_tags(),
-            useful_operations=transform.nonzero_block_count * self._w * self._w,
-        )
-        run = self._array.run(problem)
+        if self._backend == VECTORIZED:
+            run = self._sweep(transform, x, b)
+        else:
+            problem = LinearProblem(
+                band=transform.band,
+                x=transform.transform_x(x),
+                y_sources=transform.build_y_sources(b),
+                x_tags=transform.x_tags(),
+                output_tags=transform.output_tags(),
+                useful_operations=transform.nonzero_block_count * self._w * self._w,
+            )
+            run = self._array.run(problem)
         y = transform.recover_y(run.y_per_problem[0], b)
         return SparseMatVecSolution(y=y, w=self._w, transform=transform, run=run)
+
+    def _sweep(
+        self,
+        transform: BlockSparseDBTTransform,
+        x: np.ndarray,
+        b: Optional[np.ndarray],
+    ) -> LinearRunResult:
+        """Diagonal-sweep execution of the sparse band problem.
+
+        Each band block row folds its ``w`` diagonal segments in cell
+        order on top of its initial value (its ``b`` block for the first
+        row of an original block row, the previous row's output — the
+        ``w``-register feedback value — otherwise), reproducing the
+        simulator's per-row accumulation order exactly.
+        """
+        w = self._w
+        plans = transform.plans
+        band = transform.band
+        band_rows = len(plans) * w
+        diagonals = [band.diagonal(d) for d in range(w)]
+        x_t = transform.transform_x(x)
+        n = transform.original_shape[0]
+        b_vec = np.zeros(n) if b is None else as_vector(b, "b")
+        padded_b = pad_vector(b_vec, w)
+        outputs = np.empty(band_rows, dtype=float)
+        feedback_rows: List[int] = []
+        previous: Optional[np.ndarray] = None
+        for k, plan in enumerate(plans):
+            base = k * w
+            segment = outputs[base : base + w]
+            if plan.is_first:
+                start = plan.original_row * w
+                segment[:] = padded_b[start : start + w]
+            else:
+                segment[:] = previous
+                feedback_rows.extend(range(base, base + w))
+            for d in range(w):
+                segment += diagonals[d][base : base + w] * x_t[base + d : base + d + w]
+            previous = segment
+        return build_banded_linear_run(
+            w,
+            band_rows,
+            outputs,
+            useful_operations=transform.nonzero_block_count * w * w,
+            feedback_rows=feedback_rows,
+        )

@@ -64,11 +64,21 @@ class SystolicTriangularSolver:
     :class:`~repro.core.plans.CachedMatVec`); by default the solver owns a
     :class:`~repro.core.plans.CachedMatVec`, so the per-block products —
     whose shapes repeat across solves — reuse their execution plans.
+    ``backend`` selects how those products execute (``"auto"`` runs the
+    vectorized diagonal-sweep engine); it is ignored when a shared
+    ``matvec`` engine is injected, since that engine carries its own.
     """
 
-    def __init__(self, w: int, matvec: Optional[CachedMatVec] = None):
+    def __init__(
+        self,
+        w: int,
+        matvec: Optional[CachedMatVec] = None,
+        backend: str = "auto",
+    ):
         self._w = validate_array_size(w)
-        self._matvec = matvec if matvec is not None else CachedMatVec(self._w)
+        self._matvec = (
+            matvec if matvec is not None else CachedMatVec(self._w, backend=backend)
+        )
 
     @property
     def w(self) -> int:

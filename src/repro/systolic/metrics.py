@@ -77,8 +77,17 @@ class UtilizationReport:
         return self.processing_elements * self.steps
 
     def describe(self) -> str:
-        """One-line human readable summary used by examples and reports."""
-        return (
+        """One-line human readable summary used by examples and reports.
+
+        When ``useful_operations`` is set (a padded / transformed run),
+        the effective utilization — operations of the *original* problem
+        over array capacity — is reported next to the raw figure, so the
+        padding never inflates the quoted number.
+        """
+        text = (
             f"A={self.processing_elements} PEs, T={self.steps} steps, "
             f"{self.mac_operations} MACs, utilization={self.utilization:.4f}"
         )
+        if self.useful_operations is not None:
+            text += f", effective_utilization={self.effective_utilization:.4f}"
+        return text

@@ -211,6 +211,24 @@ class TestPlanCache:
         assert cache.get(("matvec", (2, 2), 3, ExecutionOptions())) is None
         assert cache.stats.misses == 1
 
+    def test_empty_cache_hit_rate_is_zero_not_an_error(self):
+        from repro.api.plan import CacheStats
+
+        assert PlanCache(maxsize=4).stats.hit_rate == 0.0
+        assert CacheStats().hit_rate == 0.0
+        assert CacheStats(hits=3, misses=1).hit_rate == pytest.approx(0.75)
+
+    def test_evictions_survive_clear(self, rng):
+        solver = Solver(ArraySpec(w=3), plan_cache_size=2)
+        for n in (3, 4, 5):
+            solver.solve("matvec", rng.normal(size=(n, 3)), rng.normal(size=3))
+        assert solver.cache_stats.evictions == 1
+        solver._cache.clear()
+        stats = solver.cache_stats
+        assert stats.size == 0
+        assert stats.evictions == 1  # lifetime counters survive clear()
+        assert stats.hit_rate == 0.0  # no hits yet, and no division by zero
+
 
 class TestSolveBatch:
     def test_batch_matches_sequential(self, rng):
@@ -254,6 +272,45 @@ class TestSolveBatch:
         for entry, solution in zip(batch, batched):
             assert np.allclose(solution.values, entry[0] @ entry[1])
 
+    def test_interleaved_shapes_still_pair(self, rng):
+        """An (A, B, A, B) batch pairs by plan, not by adjacency."""
+        solver = Solver(ArraySpec(w=3))
+        shape_a, shape_b = (6, 6), (9, 6)
+        batch = [
+            (rng.normal(size=shape_a), rng.normal(size=6)),
+            (rng.normal(size=shape_b), rng.normal(size=6)),
+            (rng.normal(size=shape_a), rng.normal(size=6)),
+            (rng.normal(size=shape_b), rng.normal(size=6)),
+        ]
+        batched = solver.solve_batch("matvec", batch)
+        assert all(solution.stats.get("paired") for solution in batched)
+        # Results come back in the original (interleaved) order ...
+        for entry, solution in zip(batch, batched):
+            assert np.array_equal(
+                solution.values, solver.solve("matvec", *entry).values
+            )
+        # ... and two overlapped runs replace four sequential ones.
+        assert batched[0].measured_steps < solver.plan(
+            "matvec", shape=shape_a
+        ).executor.model.steps * 1.5
+
+    def test_interleaved_batch_odd_tails_run_plain(self, rng):
+        solver = Solver(ArraySpec(w=3))
+        batch = [
+            (rng.normal(size=(6, 6)), rng.normal(size=6)),
+            (rng.normal(size=(9, 6)), rng.normal(size=6)),
+            (rng.normal(size=(6, 6)), rng.normal(size=6)),
+            (rng.normal(size=(9, 6)), rng.normal(size=6)),
+            (rng.normal(size=(6, 6)), rng.normal(size=6)),
+        ]
+        batched = solver.solve_batch("matvec", batch)
+        paired = [bool(solution.stats.get("paired")) for solution in batched]
+        # Three 6x6 entries: first two pair, the last runs plain; both
+        # 9x6 entries pair.
+        assert paired == [True, True, True, True, False]
+        for entry, solution in zip(batch, batched):
+            assert np.allclose(solution.values, entry[0] @ entry[1])
+
     def test_batch_other_kind_is_sequential(self, rng):
         solver = Solver(ArraySpec(w=3))
         batch = [
@@ -288,6 +345,14 @@ class TestDeprecationShims:
         api_solution = Solver(ArraySpec(w=3)).solve("matmul", a, b)
         assert np.array_equal(solution.c, api_solution.values)
         assert solution.measured_steps == api_solution.measured_steps
+
+    def test_deprecation_warnings_point_at_the_caller(self):
+        """Both shims pass stacklevel=2, so the warning names this file."""
+        for shim in (SizeIndependentMatVec, SizeIndependentMatMul):
+            with pytest.warns(DeprecationWarning) as captured:
+                shim(3)
+            assert len(captured) == 1
+            assert captured[0].filename == __file__
 
     def test_shim_reuses_plan_across_solves(self, rng):
         with warnings.catch_warnings():

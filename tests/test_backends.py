@@ -1,0 +1,263 @@
+"""Cross-backend equivalence: the vectorized sweeps against the simulator.
+
+The contract of the ``vectorized`` backend is *bit-identical outputs and
+identical structural metrics* — not approximate agreement.  These tests
+sweep (shape, w, seed) grids over all six primary problem kinds plus the
+baselines, solving each instance on both backends and asserting exact
+equality of values, step counts, utilizations and feedback statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ArraySpec, ExecutionOptions, Solver
+from repro.backends import (
+    BackendSpec,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.core.plans import CachedMatVec, MatVecPlan
+from repro.errors import BackendError
+
+
+def solver_for(w: int, backend: str, **overrides) -> Solver:
+    return Solver(
+        ArraySpec(w=w), options=ExecutionOptions(backend=backend, **overrides)
+    )
+
+
+def both(kind: str, w: int, operands, **overrides):
+    """Solve one instance on both backends; returns (simulated, vectorized)."""
+    simulated = solver_for(w, "simulate", **overrides).solve(kind, *operands)
+    vectorized = solver_for(w, "vectorized", **overrides).solve(kind, *operands)
+    return simulated, vectorized
+
+
+def assert_metrics_match(simulated, vectorized):
+    assert vectorized.measured_steps == simulated.measured_steps
+    assert vectorized.predicted_steps == simulated.predicted_steps
+    assert vectorized.measured_utilization == simulated.measured_utilization
+    assert vectorized.predicted_utilization == simulated.predicted_utilization
+    assert vectorized.feedback.count == simulated.feedback.count
+    assert vectorized.feedback.min_delay == simulated.feedback.min_delay
+    assert vectorized.feedback.max_delay == simulated.feedback.max_delay
+
+
+class TestBackendRegistry:
+    def test_backends_registered(self):
+        assert set(available_backends()) >= {"simulate", "vectorized"}
+        assert get_backend("simulate").supports_trace
+        assert not get_backend("vectorized").supports_trace
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendError):
+            resolve_backend("quantum")
+        with pytest.raises(BackendError):
+            ExecutionOptions(backend="quantum")
+
+    def test_auto_resolution_rule(self):
+        assert resolve_backend("auto") == "vectorized"
+        assert resolve_backend("auto", record_trace=True) == "simulate"
+        assert resolve_backend("simulate", record_trace=True) == "simulate"
+
+    def test_vectorized_cannot_trace(self):
+        with pytest.raises(BackendError):
+            resolve_backend("vectorized", record_trace=True)
+        with pytest.raises(BackendError):
+            MatVecPlan(6, 6, 3, record_trace=True, backend="vectorized")
+
+    def test_invalid_registration_rejected(self):
+        with pytest.raises(BackendError):
+            register_backend(BackendSpec(name="auto", description="reserved"))
+
+    def test_auto_plans_use_vectorized_engine(self):
+        solver = Solver(ArraySpec(w=3))  # default options: backend="auto"
+        plan = solver.plan("matvec", shape=(6, 6))
+        assert plan.executor.backend == "vectorized"
+        traced = solver.plan("matvec", shape=(6, 6), record_trace=True)
+        assert traced.executor.backend == "simulate"
+
+    def test_trace_still_available_through_auto(self, rng):
+        solver = Solver(ArraySpec(w=3))
+        solution = solver.solve(
+            "matvec",
+            rng.normal(size=(6, 6)),
+            rng.normal(size=6),
+            options=ExecutionOptions(record_trace=True),
+        )
+        assert solution.raw.trace is not None
+
+
+class TestMatVecEquivalence:
+    @pytest.mark.parametrize("w", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("n", [1, 4, 7, 12])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_simulator(self, w, n, seed):
+        rng = np.random.default_rng(seed)
+        m = n + (seed + 1) * 2 - 3  # exercise wide, square-ish and narrow shapes
+        m = max(1, m)
+        a = rng.normal(size=(n, m))
+        x = rng.normal(size=m)
+        b = rng.normal(size=n) if seed % 2 == 0 else None
+        operands = (a, x, b) if b is not None else (a, x)
+        simulated, vectorized = both("matvec", w, operands)
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert_metrics_match(simulated, vectorized)
+
+    @pytest.mark.parametrize("w", [2, 3, 4])
+    @pytest.mark.parametrize("n", [8, 11])
+    def test_overlapped_matches_simulator(self, w, n, rng):
+        a = rng.normal(size=(n, n))
+        x = rng.normal(size=n)
+        b = rng.normal(size=n)
+        simulated, vectorized = both("matvec", w, (a, x, b), overlapped=True)
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert_metrics_match(simulated, vectorized)
+
+    def test_paired_batch_matches_simulator(self, rng):
+        batch = [
+            (rng.normal(size=(9, 9)), rng.normal(size=9)) for _ in range(4)
+        ]
+        simulated = solver_for(3, "simulate").solve_batch("matvec", batch)
+        vectorized = solver_for(3, "vectorized").solve_batch("matvec", batch)
+        for sim_solution, vec_solution in zip(simulated, vectorized):
+            assert sim_solution.stats.get("paired") and vec_solution.stats.get("paired")
+            assert np.array_equal(vec_solution.values, sim_solution.values)
+            assert vec_solution.measured_steps == sim_solution.measured_steps
+
+
+class TestMatMulEquivalence:
+    @pytest.mark.parametrize("w", [1, 2, 3, 4])
+    @pytest.mark.parametrize("shape", [(1, 1, 1), (3, 4, 2), (5, 5, 5), (6, 3, 7)])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_simulator(self, w, shape, seed):
+        n, p, m = shape
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, p))
+        b = rng.normal(size=(p, m))
+        e = rng.normal(size=(n, m)) if seed % 2 == 0 else None
+        operands = (a, b, e) if e is not None else (a, b)
+        simulated, vectorized = both("matmul", w, operands)
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert_metrics_match(simulated, vectorized)
+        assert vectorized.feedback.regular == simulated.feedback.regular
+        assert vectorized.feedback.irregular == simulated.feedback.irregular
+
+
+class TestBlockedPipelineEquivalence:
+    """LU, triangular and Gauss-Seidel run many array products per solve;
+    identical products imply identical pipelines, checked end to end."""
+
+    @pytest.mark.parametrize("w", [2, 3])
+    @pytest.mark.parametrize("n", [4, 7])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_triangular(self, w, n, seed):
+        rng = np.random.default_rng(seed)
+        t = np.tril(rng.normal(size=(n, n))) + (n + 2) * np.eye(n)
+        b = rng.normal(size=n)
+        for lower, matrix in ((True, t), (False, t.T)):
+            simulated = solver_for(w, "simulate").solve(
+                "triangular", matrix, b, lower=lower
+            )
+            vectorized = solver_for(w, "vectorized").solve(
+                "triangular", matrix, b, lower=lower
+            )
+            assert np.array_equal(vectorized.values, simulated.values)
+            assert vectorized.measured_steps == simulated.measured_steps
+            assert vectorized.stats == simulated.stats
+
+    @pytest.mark.parametrize("w", [2, 3])
+    @pytest.mark.parametrize("n", [4, 7])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lu(self, w, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, n)) + (n + 3) * np.eye(n)
+        simulated = solver_for(w, "simulate").solve("lu", a)
+        vectorized = solver_for(w, "vectorized").solve("lu", a)
+        for sim_factor, vec_factor in zip(simulated.values, vectorized.values):
+            assert np.array_equal(vec_factor, sim_factor)
+        assert vectorized.measured_steps == simulated.measured_steps
+        assert vectorized.stats == simulated.stats
+
+    @pytest.mark.parametrize("w", [2, 3])
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_gauss_seidel(self, w, n, rng):
+        a = rng.normal(size=(n, n)) + (2 * n) * np.eye(n)
+        b = rng.normal(size=n)
+        simulated = solver_for(w, "simulate").solve("gauss_seidel", a, b)
+        vectorized = solver_for(w, "vectorized").solve("gauss_seidel", a, b)
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert vectorized.measured_steps == simulated.measured_steps
+        assert vectorized.stats == simulated.stats
+
+
+class TestSparseEquivalence:
+    @pytest.mark.parametrize("w", [2, 3, 4])
+    @pytest.mark.parametrize("n", [6, 10])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_simulator(self, w, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, n))
+        blocks = -(-n // w)
+        for r in range(blocks):
+            for s in range(blocks):
+                if rng.random() < 0.5:
+                    a[r * w : (r + 1) * w, s * w : (s + 1) * w] = 0.0
+        x = rng.normal(size=n)
+        b = rng.normal(size=n) if seed % 2 == 0 else None
+        operands = (a, x, b) if b is not None else (a, x)
+        simulated, vectorized = both("sparse", w, operands)
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert vectorized.measured_steps == simulated.measured_steps
+        assert vectorized.measured_utilization == simulated.measured_utilization
+        assert vectorized.stats == simulated.stats
+
+
+class TestBaselineEquivalence:
+    @pytest.mark.parametrize("kind", ["naive_matvec", "block_partitioned"])
+    @pytest.mark.parametrize("w", [2, 3])
+    def test_matvec_baselines(self, kind, w, rng):
+        a = rng.normal(size=(7, 5))
+        x = rng.normal(size=5)
+        b = rng.normal(size=7)
+        simulated, vectorized = both(kind, w, (a, x, b))
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert vectorized.measured_steps == simulated.measured_steps
+        assert vectorized.measured_utilization == simulated.measured_utilization
+        assert vectorized.stats == simulated.stats
+
+    @pytest.mark.parametrize("w", [2, 3])
+    def test_naive_matmul(self, w, rng):
+        a = rng.normal(size=(5, 4))
+        b = rng.normal(size=(4, 6))
+        e = rng.normal(size=(5, 6))
+        simulated, vectorized = both("naive_matmul", w, (a, b, e))
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert vectorized.measured_steps == simulated.measured_steps
+        assert vectorized.measured_utilization == simulated.measured_utilization
+
+    @pytest.mark.parametrize("w", [2, 4])
+    def test_prt(self, w, rng):
+        a = rng.normal(size=(w, w))
+        x = rng.normal(size=w)
+        simulated, vectorized = both("prt", w, (a, x))
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert vectorized.measured_steps == simulated.measured_steps
+
+
+class TestSharedEngineBackend:
+    def test_shared_matvec_engine_overrides_pipeline_backend(self, rng):
+        """An injected engine carries its own backend, as documented."""
+        from repro.extensions.triangular import SystolicTriangularSolver
+
+        engine = CachedMatVec(3, backend="simulate")
+        solver = SystolicTriangularSolver(3, matvec=engine, backend="vectorized")
+        t = np.tril(rng.normal(size=(5, 5))) + 6 * np.eye(5)
+        result = solver.solve_lower(t, rng.normal(size=5))
+        assert np.allclose(t @ result.x, t @ np.linalg.solve(t, t @ result.x))
+        # the shared engine's plans are simulator plans
+        assert engine.backend == "simulate"
