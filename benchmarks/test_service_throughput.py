@@ -1,0 +1,250 @@
+"""Serving-layer throughput: plan-keyed batched shards vs. naive serving.
+
+The claim the :mod:`repro.service` subsystem exists to win: a mixed
+concurrent workload served through ``SolverService`` — plan-keyed shard
+routing (every plan compiles once, on its home shard), admission batching
+(same-plan requests flush together through ``solve_batch``), bounded
+queues — sustains **at least 2x** the throughput of the naive serving
+model, where each request gets its own handler (one thread per request,
+its own ``Solver``, no shared plan state) executed back-to-back.  The
+naive model pays a plan compilation per request; the service pays one per
+distinct plan *per service*.
+
+For context the report also times the strongest sequential baseline — a
+single warm ``Solver`` solving one request at a time — which isolates the
+queueing/batching overhead the service adds on top of warm execution.
+
+Results are appended to ``BENCH_service.json`` at the repository root (a
+machine-readable trajectory point; CI uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.api import ArraySpec, Solver
+from repro.service import SolverService
+
+W = 4
+N_SHARDS = 4
+N_CLIENTS = 8
+MATVEC_SHAPES = ((48, 48), (32, 32), (48, 32))
+MATVEC_PER_SHAPE = 40
+N_MATMUL = 40
+MATMUL_SHAPE = (9, 9)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+Workload = List[Tuple[str, Tuple[np.ndarray, ...]]]
+
+
+def _mixed_workload(rng: np.random.Generator) -> Workload:
+    """An interleaved matvec/matmul request stream (deterministic)."""
+    requests: Workload = []
+    for shape in MATVEC_SHAPES:
+        for _ in range(MATVEC_PER_SHAPE):
+            requests.append(
+                ("matvec", (rng.normal(size=shape), rng.normal(size=shape[1])))
+            )
+    for _ in range(N_MATMUL):
+        requests.append(
+            (
+                "matmul",
+                (rng.normal(size=MATMUL_SHAPE), rng.normal(size=MATMUL_SHAPE)),
+            )
+        )
+    order = rng.permutation(len(requests))
+    return [requests[index] for index in order]
+
+
+def _naive_thread_per_request(workload: Workload) -> float:
+    """The baseline: one handler thread per request, no shared plan state.
+
+    Each handler builds its own ``Solver`` (the stateless-server model:
+    nothing survives between requests) and runs to completion before the
+    next request is admitted.  Returns elapsed seconds.
+    """
+    start = time.perf_counter()
+    for kind, operands in workload:
+        error: List[BaseException] = []
+
+        def handler() -> None:
+            try:
+                Solver(ArraySpec(W)).solve(kind, *operands)
+            except BaseException as exc:  # pragma: no cover - failure path
+                error.append(exc)
+
+        thread = threading.Thread(target=handler)
+        thread.start()
+        thread.join()
+        assert not error
+    return time.perf_counter() - start
+
+
+def _warm_sequential(workload: Workload) -> float:
+    """Context baseline: one shared warm solver, one request at a time."""
+    solver = Solver(ArraySpec(W))
+    for kind, operands in workload:  # warm every plan first
+        solver.solve(kind, *operands)
+    start = time.perf_counter()
+    for kind, operands in workload:
+        solver.solve(kind, *operands)
+    return time.perf_counter() - start
+
+
+def _serve_concurrently(workload: Workload) -> Tuple[float, Any]:
+    """The subsystem under test: N_CLIENTS submitting into the shard pool."""
+    service = SolverService(
+        ArraySpec(W),
+        n_shards=N_SHARDS,
+        backpressure="block",
+        queue_depth=64,
+        max_batch_size=16,
+        max_batch_delay=0.002,
+    )
+    shares = [workload[index::N_CLIENTS] for index in range(N_CLIENTS)]
+    futures: List[List[Any]] = [[] for _ in range(N_CLIENTS)]
+    errors: List[BaseException] = []
+
+    def client(client_id: int) -> None:
+        try:
+            for kind, operands in shares[client_id]:
+                futures[client_id].append(service.submit(kind, *operands))
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(client_id,))
+        for client_id in range(N_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for client_futures in futures:
+        for future in client_futures:
+            future.result(timeout=120)
+    elapsed = time.perf_counter() - start
+    assert not errors
+    stats = service.stats()
+    service.close()
+    return elapsed, stats
+
+
+def _write_trajectory_point(payload: Dict[str, Any]) -> None:
+    """Append this run to the BENCH_service.json trajectory."""
+    trajectory: List[Dict[str, Any]] = []
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+            if isinstance(existing, list):
+                trajectory = existing
+        except (OSError, json.JSONDecodeError):  # pragma: no cover - corrupt file
+            trajectory = []
+    trajectory.append(payload)
+    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+class TestServiceThroughput:
+    def test_batched_serving_at_least_2x_naive(self, rng, show_report):
+        from repro.analysis.report import ExperimentReport
+
+        workload = _mixed_workload(rng)
+        n_requests = len(workload)
+
+        naive_time = _naive_thread_per_request(workload)
+        warm_time = _warm_sequential(workload)
+        service_time, stats = _serve_concurrently(workload)
+
+        naive_throughput = n_requests / naive_time
+        warm_throughput = n_requests / warm_time
+        service_throughput = n_requests / service_time
+        speedup = service_throughput / naive_throughput
+
+        # Sanity on the serving path itself before the headline claim.
+        assert stats.completed == n_requests
+        assert stats.failed == stats.rejected == stats.shed == stats.expired == 0
+        # Plan-keyed routing: one compile per distinct plan fleet-wide.
+        assert stats.cache.misses == len(MATVEC_SHAPES) + 1
+        assert stats.mean_batch_size > 1.0
+
+        assert speedup >= 2.0, (
+            f"serving gave only {speedup:.2f}x over the naive per-request "
+            f"baseline ({service_throughput:.0f} vs {naive_throughput:.0f} "
+            f"requests/s); admission batching or plan routing regressed"
+        )
+
+        _write_trajectory_point(
+            {
+                "benchmark": "service_throughput",
+                "unix_time": time.time(),
+                "workload": {
+                    "requests": n_requests,
+                    "matvec_shapes": [list(s) for s in MATVEC_SHAPES],
+                    "matvec_per_shape": MATVEC_PER_SHAPE,
+                    "matmul": N_MATMUL,
+                    "matmul_shape": list(MATMUL_SHAPE),
+                    "w": W,
+                    "clients": N_CLIENTS,
+                    "shards": N_SHARDS,
+                },
+                "naive_thread_per_request": {
+                    "seconds": naive_time,
+                    "requests_per_second": naive_throughput,
+                },
+                "warm_sequential": {
+                    "seconds": warm_time,
+                    "requests_per_second": warm_throughput,
+                },
+                "service": {
+                    "seconds": service_time,
+                    "requests_per_second": service_throughput,
+                    "mean_batch_size": stats.mean_batch_size,
+                    "batch_size_histogram": {
+                        str(size): count
+                        for size, count in sorted(
+                            stats.batch_size_histogram.items()
+                        )
+                    },
+                    "cache_hit_rate": stats.cache.hit_rate,
+                    "latency_p50_ms": (stats.latency_p50 or 0.0) * 1e3,
+                    "latency_p95_ms": (stats.latency_p95 or 0.0) * 1e3,
+                    "max_queue_depth": stats.max_queue_depth,
+                },
+                "speedup_vs_naive": speedup,
+                "speedup_vs_warm_sequential": service_throughput / warm_throughput,
+            }
+        )
+
+        report = ExperimentReport(
+            experiment="service throughput: batched shards vs naive serving",
+            description=(
+                f"{n_requests} mixed requests ({N_CLIENTS} clients, "
+                f"{N_SHARDS} shards, w={W}); naive = thread per request, "
+                f"fresh solver each"
+            ),
+        )
+        report.add(
+            "service >= 2x naive",
+            1,
+            int(speedup >= 2.0),
+            note=(
+                f"naive {naive_throughput:.0f}/s, warm sequential "
+                f"{warm_throughput:.0f}/s, service {service_throughput:.0f}/s "
+                f"({speedup:.1f}x naive)"
+            ),
+        )
+        report.add(
+            "plan compiles across fleet",
+            len(MATVEC_SHAPES) + 1,
+            stats.cache.misses,
+            note=f"mean batch size {stats.mean_batch_size:.2f}",
+        )
+        show_report(report)

@@ -56,16 +56,21 @@ from .errors import (
     ArraySizeError,
     BackendError,
     BandwidthError,
+    DeadlineExceededError,
     FeedbackError,
     RecoveryError,
     ReproError,
     ScheduleError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
     ShapeError,
     SimulationError,
     TransformError,
 )
 from .matrices.banded import BandMatrix
 from .matrices.blocks import BlockGrid
+from .service import ServiceStats, SolverService
 from .systolic.feedback import ShiftRegisterFeedback, SpiralFeedbackTopology
 from .systolic.hex_array import HexagonalArray
 from .systolic.linear_array import LinearContraflowArray, LinearProblem
@@ -81,6 +86,7 @@ __all__ = [
     "BlockGrid",
     "DBTByRowsTransform",
     "DBTTransposedByRowsTransform",
+    "DeadlineExceededError",
     "ExecutionOptions",
     "ExecutionPlan",
     "FeedbackError",
@@ -96,6 +102,10 @@ __all__ = [
     "RecoveryError",
     "ReproError",
     "ScheduleError",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceStats",
     "ShapeError",
     "ShiftRegisterFeedback",
     "SimulationError",
@@ -103,6 +113,7 @@ __all__ = [
     "SizeIndependentMatVec",
     "Solution",
     "Solver",
+    "SolverService",
     "SpiralFeedbackTopology",
     "TransformError",
     "__version__",

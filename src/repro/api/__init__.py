@@ -31,7 +31,7 @@ Key pieces:
 """
 
 from .config import ArraySpec, ExecutionOptions
-from .plan import CacheStats, ExecutionPlan, PlanCache
+from .plan import CacheStats, ExecutionPlan, PlanCache, PlanKey
 from .registry import ProblemHandler, get_handler, register, registered_kinds
 from .solution import FeedbackStats, Solution
 from .solver import Solver
@@ -43,6 +43,7 @@ __all__ = [
     "ExecutionPlan",
     "FeedbackStats",
     "PlanCache",
+    "PlanKey",
     "ProblemHandler",
     "Solution",
     "Solver",

@@ -15,13 +15,14 @@ transform construction and only stream operand values.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 from .config import ArraySpec, ExecutionOptions
 
-__all__ = ["ExecutionPlan", "CacheStats", "PlanCache"]
+__all__ = ["ExecutionPlan", "CacheStats", "PlanCache", "PlanKey"]
 
 #: A plan cache key: (kind, shapes, w, options).
 PlanKey = Tuple[str, Tuple, int, ExecutionOptions]
@@ -113,9 +114,31 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Fleet-wide accounting: sum counters across caches (e.g. shards)."""
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            size=self.size + other.size,
+            maxsize=self.maxsize + other.maxsize,
+        )
+
 
 class PlanCache:
-    """LRU cache of :class:`ExecutionPlan` objects keyed by plan key."""
+    """LRU cache of :class:`ExecutionPlan` objects keyed by plan key.
+
+    All operations are thread-safe: a single lock guards the LRU order and
+    the hit/miss/eviction counters, so a :class:`~repro.api.solver.Solver`
+    can be shared between threads (and the :mod:`repro.service` shard
+    workers can trust their per-shard caches) without torn LRU state or
+    lost accounting.  Plan *construction* is not serialized — two threads
+    missing on the same key may both build the plan and the later ``put``
+    wins — which trades a rare duplicate build for never holding the lock
+    across a compile.
+    """
 
     def __init__(self, maxsize: int = 128):
         if maxsize < 1:
@@ -125,26 +148,29 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.Lock()
 
     def get(self, key: PlanKey) -> Optional[ExecutionPlan]:
         """The cached plan for ``key`` (marks it most recently used)."""
-        plan = self._plans.get(key)
-        if plan is None:
-            self._misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self._hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self._misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self._hits += 1
+            return plan
 
     def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
-        if key in self._plans:
-            self._plans.move_to_end(key)
+        with self._lock:
+            if key in self._plans:
+                self._plans.move_to_end(key)
+                self._plans[key] = plan
+                return
             self._plans[key] = plan
-            return
-        self._plans[key] = plan
-        while len(self._plans) > self._maxsize:
-            self._plans.popitem(last=False)
-            self._evictions += 1
+            while len(self._plans) > self._maxsize:
+                self._plans.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
         """Drop every cached plan.
@@ -153,20 +179,24 @@ class PlanCache:
         a cleared cache starts empty but its accounting history — and the
         division-safe ``hit_rate`` derived from it — remains meaningful.
         """
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key: PlanKey) -> bool:
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._plans),
-            maxsize=self._maxsize,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._plans),
+                maxsize=self._maxsize,
+            )

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..instrumentation import counters
 from .config import ArraySpec, ExecutionOptions
-from .plan import ExecutionPlan, CacheStats, PlanCache
+from .plan import ExecutionPlan, CacheStats, PlanCache, PlanKey
 from .registry import get_handler, registered_kinds
 from .solution import Solution
 
@@ -79,7 +79,45 @@ class Solver:
         """All problem kinds the registry can dispatch."""
         return registered_kinds()
 
+    # -- lifetime ---------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every cached plan while preserving ``cache_stats`` history.
+
+        After a reset the next same-shape solve recompiles its plan, but
+        lifetime hit/miss/eviction accounting survives — the natural
+        behaviour for services that recycle solvers between load phases.
+        """
+        self._cache.clear()
+
+    def __enter__(self) -> "Solver":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.reset()
+
     # -- the plan step ----------------------------------------------------------
+    def plan_key(
+        self,
+        kind: str,
+        *operands,
+        shape=None,
+        options: Optional[ExecutionOptions] = None,
+        **option_overrides,
+    ) -> PlanKey:
+        """The cache/routing key a solve of this problem would use.
+
+        Computed without compiling anything: ``(kind, shapes, w, options)``.
+        This is what :mod:`repro.service` hashes to route a request to a
+        shard, so every same-shaped request lands on the same hot cache.
+        Pass either an operand set or an explicit ``shape=`` spec.
+        """
+        handler = get_handler(kind)
+        opts = self._resolve_options(options, option_overrides)
+        if operands:
+            shapes = handler.shapes(operands=operands)
+        else:
+            shapes = handler.shapes(shape=shape)
+        return (handler.kind, shapes, self._spec.w, opts)
     def plan(
         self,
         kind: str,

@@ -31,6 +31,7 @@ the plan code: register a spec, teach the plans to dispatch on its name.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -71,13 +72,22 @@ class BackendSpec:
 
 
 _REGISTRY: Dict[str, BackendSpec] = {}
+# Registration can race with option validation / plan builds once the
+# service layer's shard threads are running; one lock keeps the registry
+# consistent without slowing the (dict-read) lookup hot path.
+_REGISTRY_LOCK = threading.Lock()
 
 
 def register_backend(spec: BackendSpec) -> BackendSpec:
-    """Register a backend descriptor under its name (last one wins)."""
+    """Register a backend descriptor under its name (last one wins).
+
+    Thread-safe: a custom engine may be registered while service shard
+    workers are already executing plans.
+    """
     if not spec.name or spec.name == AUTO_BACKEND:
         raise BackendError(f"invalid backend name {spec.name!r}")
-    _REGISTRY[spec.name] = spec
+    with _REGISTRY_LOCK:
+        _REGISTRY[spec.name] = spec
     return spec
 
 
@@ -86,7 +96,8 @@ def get_backend(name: str) -> BackendSpec:
     try:
         return _REGISTRY[name]
     except KeyError:
-        known = ", ".join(sorted(_REGISTRY) + [AUTO_BACKEND])
+        with _REGISTRY_LOCK:
+            known = ", ".join(sorted(_REGISTRY) + [AUTO_BACKEND])
         raise BackendError(
             f"unknown execution backend {name!r}; available: {known}"
         ) from None
@@ -94,7 +105,8 @@ def get_backend(name: str) -> BackendSpec:
 
 def available_backends() -> Tuple[str, ...]:
     """All registered backend names, sorted (``auto`` is a rule, not a backend)."""
-    return tuple(sorted(_REGISTRY))
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
 
 
 def resolve_backend(name: str = AUTO_BACKEND, record_trace: bool = False) -> str:

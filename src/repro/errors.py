@@ -63,3 +63,23 @@ class BackendError(ReproError, ValueError):
     """An unknown execution backend was requested, or the requested
     backend cannot satisfy the execution options (e.g. a data-flow trace
     from the vectorized engine)."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.service` layer."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """A shard queue was full and the backpressure policy dropped the request.
+
+    Raised synchronously from ``submit`` under the ``"reject"`` policy, or
+    delivered through the shed request's future under ``"shed_oldest"``.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to (or was still pending in) a closed service."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline elapsed before a worker could execute it."""

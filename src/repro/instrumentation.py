@@ -12,6 +12,13 @@ The counters are deliberately plain integers on a module-level object:
 they cost one attribute increment per construction, need no locking for
 the CPython use here, and can be snapshotted/diffed from anywhere without
 importing the api layer.
+
+Thread-safety boundary: ``transform_constructions`` / ``plan_builds`` /
+``plan_executions`` are bumped inline on the solve path without a lock,
+so they are exact only for single-threaded callers (every test that
+asserts on them); under the multithreaded :mod:`repro.service` shard pool
+they are best-effort.  The ``service_*`` counters, by contrast, are
+serialized on a shared lock by the service telemetry and stay exact.
 """
 
 from __future__ import annotations
@@ -30,12 +37,19 @@ class Counters:
     :class:`~repro.core.dbt_transposed.DBTTransposedByRowsTransform`,
     :class:`~repro.core.operands.MatMulOperands` and
     :class:`~repro.extensions.sparse.BlockSparseDBTTransform`.
-    ``plan_builds`` / ``plan_executions`` are bumped by the api layer.
+    ``plan_builds`` / ``plan_executions`` are bumped by the api layer
+    (lock-free: exact for single-threaded callers, best-effort under the
+    multithreaded service shard pool).  ``service_requests`` /
+    ``service_batches`` are bumped by the :mod:`repro.service` layer,
+    serialized on one shared lock across all shards, so they stay exact
+    even though the service is multithreaded.
     """
 
     transform_constructions: int = 0
     plan_builds: int = 0
     plan_executions: int = 0
+    service_requests: int = 0
+    service_batches: int = 0
 
     def snapshot(self) -> "Counters":
         """An independent copy for before/after diffing."""
@@ -43,6 +57,8 @@ class Counters:
             transform_constructions=self.transform_constructions,
             plan_builds=self.plan_builds,
             plan_executions=self.plan_executions,
+            service_requests=self.service_requests,
+            service_batches=self.service_batches,
         )
 
     def delta(self, earlier: "Counters") -> "Counters":
@@ -52,6 +68,8 @@ class Counters:
             - earlier.transform_constructions,
             plan_builds=self.plan_builds - earlier.plan_builds,
             plan_executions=self.plan_executions - earlier.plan_executions,
+            service_requests=self.service_requests - earlier.service_requests,
+            service_batches=self.service_batches - earlier.service_batches,
         )
 
 

@@ -1,0 +1,52 @@
+"""Concurrent serving layer over the plan/execute solver façade.
+
+The ROADMAP's production-serving story, as a subsystem: many concurrent
+callers multiplexed onto the cached, immutable
+:class:`~repro.api.plan.ExecutionPlan` machinery so the (software) array
+stays saturated the way the paper's streaming model keeps the hardware
+saturated.
+
+Pieces, front to back:
+
+* :class:`~repro.service.service.SolverService` — the front door.
+  ``submit(kind, *operands)`` validates synchronously, returns a
+  ``concurrent.futures.Future`` of the usual
+  :class:`~repro.api.solution.Solution`, and routes by plan key:
+  ``shard = hash((kind, shapes, w, options)) % n_shards``.
+* :class:`~repro.service.backpressure.BoundedRequestQueue` — per-shard
+  bounded admission with ``block`` / ``reject`` / ``shed_oldest``
+  overload policies and per-request deadlines.
+* :class:`~repro.service.batcher.AdmissionBatcher` — collects a short
+  admission window and groups it by plan key, so same-plan requests flush
+  together through ``Solver.solve_batch`` (matvec pairs ride the
+  overlapped contraflow path automatically).
+* :class:`~repro.service.workers.ShardWorker` — one thread + one private
+  :class:`~repro.api.solver.Solver` per shard; a plan compiles once per
+  service and stays hot on its home shard.
+* :class:`~repro.service.telemetry.ServiceStats` — per-kind counts, queue
+  depths, the batch-size histogram, p50/p95 latency, and plan-cache hit
+  rates aggregated across shards.
+
+See ``examples/serving_demo.py`` for an end-to-end tour and
+``benchmarks/test_service_throughput.py`` for the throughput claim this
+layer exists to win.
+"""
+
+from .backpressure import BACKPRESSURE_POLICIES, BoundedRequestQueue
+from .batcher import AdmissionBatcher
+from .request import SolveRequest
+from .service import SolverService
+from .telemetry import ServiceStats, ShardStats, ShardTelemetry
+from .workers import ShardWorker
+
+__all__ = [
+    "AdmissionBatcher",
+    "BACKPRESSURE_POLICIES",
+    "BoundedRequestQueue",
+    "ServiceStats",
+    "ShardStats",
+    "ShardTelemetry",
+    "ShardWorker",
+    "SolveRequest",
+    "SolverService",
+]

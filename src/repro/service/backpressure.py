@@ -1,0 +1,160 @@
+"""Bounded admission queues and their overload policies.
+
+Each shard worker owns one :class:`BoundedRequestQueue`.  When a queue is
+full the configured :data:`policy <BACKPRESSURE_POLICIES>` decides what
+gives way:
+
+``"block"``
+    The submitting caller waits for space — end-to-end flow control; no
+    request is ever dropped (the concurrency soak tests run under this
+    policy and assert zero dropped futures).
+``"reject"``
+    ``put`` raises :class:`~repro.errors.ServiceOverloadedError`
+    immediately — load shedding at the front door, the caller retries or
+    degrades.
+``"shed_oldest"``
+    The oldest queued request is evicted to make room and returned to the
+    caller, which fails its future with ``ServiceOverloadedError`` —
+    freshest-first serving for workloads where a stale answer is worthless.
+
+The queue is a plain deque under one condition variable; ``close()`` wakes
+every waiter so service shutdown cannot strand a blocked producer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..errors import ServiceClosedError, ServiceOverloadedError
+from .request import SolveRequest
+
+__all__ = ["BACKPRESSURE_POLICIES", "BoundedRequestQueue"]
+
+#: The recognised overload policies, in documentation order.
+BACKPRESSURE_POLICIES: Tuple[str, ...] = ("block", "reject", "shed_oldest")
+
+
+class BoundedRequestQueue:
+    """A bounded FIFO of :class:`SolveRequest` with a pluggable full-queue policy."""
+
+    def __init__(self, maxsize: int, policy: str = "block"):
+        if maxsize < 1:
+            raise ValueError(f"queue maxsize must be >= 1, got {maxsize}")
+        if policy not in BACKPRESSURE_POLICIES:
+            known = ", ".join(BACKPRESSURE_POLICIES)
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; one of: {known}"
+            )
+        self._maxsize = int(maxsize)
+        self._policy = policy
+        self._items: Deque[SolveRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    # -- producer side ----------------------------------------------------------
+    def put(
+        self, request: SolveRequest, timeout: Optional[float] = None
+    ) -> Optional[SolveRequest]:
+        """Enqueue ``request``, applying the overload policy when full.
+
+        Returns the request *evicted* to make room (``shed_oldest`` only;
+        the caller owns failing its future) or ``None``.  Raises
+        :class:`ServiceOverloadedError` under ``reject`` (and under
+        ``block`` when ``timeout`` elapses), :class:`ServiceClosedError`
+        when the queue is closed.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError("cannot submit to a closed service")
+            if len(self._items) < self._maxsize:
+                self._items.append(request)
+                self._cond.notify_all()
+                return None
+            if self._policy == "reject":
+                raise ServiceOverloadedError(
+                    f"shard queue full ({self._maxsize} pending) "
+                    f"under the 'reject' policy"
+                )
+            if self._policy == "shed_oldest":
+                shed = self._items.popleft()
+                self._items.append(request)
+                self._cond.notify_all()
+                return shed
+            # "block": wait for a worker to make room.
+            limit = None if timeout is None else time.monotonic() + timeout
+            while len(self._items) >= self._maxsize:
+                remaining = None if limit is None else limit - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise ServiceOverloadedError(
+                        f"shard queue still full ({self._maxsize} pending) "
+                        f"after blocking {timeout:.3f}s"
+                    )
+                self._cond.wait(remaining)
+                if self._closed:
+                    raise ServiceClosedError(
+                        "service closed while waiting for queue space"
+                    )
+            self._items.append(request)
+            self._cond.notify_all()
+            return None
+
+    # -- consumer side ----------------------------------------------------------
+    def get(self, timeout: Optional[float] = None) -> Optional[SolveRequest]:
+        """Dequeue one request, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the queue is closed and empty
+        (the worker's signal to re-check its stop flag / exit).
+        """
+        with self._cond:
+            limit = None if timeout is None else time.monotonic() + timeout
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = None if limit is None else limit - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            request = self._items.popleft()
+            self._cond.notify_all()
+            return request
+
+    def drain(self, limit: Optional[int] = None) -> List[SolveRequest]:
+        """Dequeue up to ``limit`` immediately-available requests (no wait)."""
+        with self._cond:
+            count = len(self._items) if limit is None else min(limit, len(self._items))
+            drained = [self._items.popleft() for _ in range(count)]
+            if drained:
+                self._cond.notify_all()
+            return drained
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse new producers and wake every waiter.
+
+        Already-queued requests stay dequeueable so a draining worker can
+        finish them (or fail them with ``ServiceClosedError`` on a
+        non-draining shutdown).
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

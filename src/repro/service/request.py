@@ -1,0 +1,70 @@
+"""The unit of work flowing through the serving layer.
+
+A :class:`SolveRequest` pairs one solve call (kind, operands, execution
+arguments, options) with the ``concurrent.futures.Future`` the caller
+holds, the plan key that routes it, and the timing fields the telemetry
+and deadline machinery need.  Requests are created by
+:class:`~repro.service.service.SolverService.submit` and consumed by
+exactly one shard worker; the future is resolved exactly once.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..api.plan import PlanKey
+from ..api.config import ExecutionOptions
+
+__all__ = ["SolveRequest"]
+
+
+@dataclass
+class SolveRequest:
+    """One in-flight solve: operands, routing key, future, and timing.
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant (or ``None``);
+    a worker that dequeues the request after it fails the future with
+    :class:`~repro.errors.DeadlineExceededError` instead of executing.
+    ``kwargs`` carries kind-specific execution arguments (``lower=False``,
+    ``x0=...``); a request with kwargs is never batch-flushed because
+    ``solve_batch`` has no per-entry argument channel.
+    """
+
+    kind: str
+    operands: Tuple[Any, ...]
+    plan_key: PlanKey
+    options: Optional[ExecutionOptions] = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    deadline: Optional[float] = None
+    future: "Future[Any]" = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def batchable(self) -> bool:
+        """Whether the request may ride a multi-entry ``solve_batch`` flush."""
+        return not self.kwargs
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """True when the request's deadline has already passed."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+    def latency(self, now: Optional[float] = None) -> float:
+        """Seconds since the request entered the service."""
+        return (time.monotonic() if now is None else now) - self.enqueued_at
+
+    def fail(self, exc: BaseException) -> bool:
+        """Fail the future; False when it was already resolved/cancelled.
+
+        Callers gate their failure telemetry on the return value so a
+        caller-cancelled future is never double-counted.
+        """
+        try:
+            self.future.set_exception(exc)
+            return True
+        except Exception:
+            return False

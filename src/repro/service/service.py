@@ -1,0 +1,297 @@
+"""The serving front door: futures in, plan-keyed shard routing behind.
+
+:class:`SolverService` is the concurrent counterpart of the synchronous
+:class:`~repro.api.solver.Solver` façade::
+
+    from repro.api import ArraySpec
+    from repro.service import SolverService
+
+    with SolverService(ArraySpec(w=4), n_shards=4) as service:
+        future = service.submit("matvec", a, x)      # returns immediately
+        solution = future.result()                    # same Solution protocol
+        print(service.stats().describe())
+
+``submit`` validates the request synchronously as far as the plan key can
+see — unknown kinds and bad *primary-operand* shapes fail at the call
+site; mismatches among the remaining operands (a wrong-length ``x``)
+surface through the future, isolated to the offending request — then
+routes the request to shard ``hash(plan_key) % n_shards``.  Determinism of that routing is the core
+scaling trick: a given plan compiles once per service — on the one shard
+that will ever see it — and every subsequent same-shape request hits that
+shard's warm cache.  The admission batcher then flushes same-plan
+neighbours together, so a burst of identical requests costs one queue
+round-trip and, for matvec, rides the paper's overlapped contraflow
+execution in pairs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..api.config import ArraySpec, ExecutionOptions
+from ..api.plan import PlanKey
+from ..api.solution import Solution
+from ..api.solver import Solver
+from ..errors import ServiceClosedError, ServiceOverloadedError
+from .backpressure import BACKPRESSURE_POLICIES, BoundedRequestQueue
+from .request import SolveRequest
+from .telemetry import ServiceStats, ShardTelemetry
+from .workers import ShardWorker
+
+__all__ = ["SolverService"]
+
+
+class SolverService:
+    """Concurrent, sharded, batching serving layer over cached solver plans.
+
+    Parameters
+    ----------
+    spec:
+        The target :class:`ArraySpec` (or a bare array size ``w``); every
+        shard solves against the same array geometry.
+    n_shards:
+        Worker count.  Each shard owns a private
+        :class:`~repro.api.solver.Solver` (and therefore a private plan
+        cache) and a single execution thread.
+    options:
+        Service-wide :class:`ExecutionOptions` defaults; per-request
+        ``options=`` overrides them wholesale (and routes to a different
+        plan, hence possibly a different shard).
+    queue_depth:
+        Bounded pending-request capacity *per shard*.
+    backpressure:
+        Full-queue policy: ``"block"`` (default), ``"reject"`` or
+        ``"shed_oldest"`` — see :mod:`repro.service.backpressure`.
+    max_batch_size / max_batch_delay:
+        Admission-window bounds per flush — see
+        :mod:`repro.service.batcher`.
+    plan_cache_size:
+        Per-shard plan cache capacity.
+    submit_timeout:
+        Under the ``block`` policy, how long ``submit`` may wait for queue
+        space before raising :class:`ServiceOverloadedError`
+        (``None`` = wait indefinitely).
+    """
+
+    def __init__(
+        self,
+        spec: "ArraySpec | int",
+        *,
+        n_shards: int = 4,
+        options: Optional[ExecutionOptions] = None,
+        queue_depth: int = 64,
+        backpressure: str = "block",
+        max_batch_size: int = 16,
+        max_batch_delay: float = 0.002,
+        plan_cache_size: int = 128,
+        submit_timeout: Optional[float] = None,
+        idle_poll: float = 0.05,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if backpressure not in BACKPRESSURE_POLICIES:
+            known = ", ".join(BACKPRESSURE_POLICIES)
+            raise ValueError(
+                f"unknown backpressure policy {backpressure!r}; one of: {known}"
+            )
+        self._spec = ArraySpec.of(spec)
+        self._options = options if options is not None else ExecutionOptions()
+        self._policy = backpressure
+        self._submit_timeout = submit_timeout
+        self._closed = False
+        self._shards: List[ShardWorker] = []
+        for shard_id in range(int(n_shards)):
+            queue = BoundedRequestQueue(queue_depth, policy=backpressure)
+            worker = ShardWorker(
+                shard_id=shard_id,
+                solver=Solver(
+                    self._spec, self._options, plan_cache_size=plan_cache_size
+                ),
+                queue=queue,
+                telemetry=ShardTelemetry(shard_id),
+                max_batch_size=max_batch_size,
+                max_batch_delay=max_batch_delay,
+                idle_poll=idle_poll,
+            )
+            self._shards.append(worker)
+        for worker in self._shards:
+            worker.start()
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def spec(self) -> ArraySpec:
+        return self._spec
+
+    @property
+    def options(self) -> ExecutionOptions:
+        return self._options
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def backpressure(self) -> str:
+        return self._policy
+
+    @property
+    def shards(self) -> Tuple[ShardWorker, ...]:
+        """The shard workers (read-only view, e.g. for tests and tooling)."""
+        return tuple(self._shards)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def plan_key(
+        self,
+        kind: str,
+        *operands,
+        shape=None,
+        options: Optional[ExecutionOptions] = None,
+    ) -> PlanKey:
+        """The routing key a request would use (validates kind and shapes).
+
+        Delegates to a shard solver (all shards share the service's spec
+        and default options) so routing keys can never diverge from the
+        keys the shard caches actually use.
+        """
+        return self._shards[0].solver.plan_key(
+            kind, *operands, shape=shape, options=options
+        )
+
+    def shard_index(self, key: PlanKey) -> int:
+        """Which shard a plan key routes to (stable within this process)."""
+        return hash(key) % len(self._shards)
+
+    # -- the serving surface ------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        *operands,
+        options: Optional[ExecutionOptions] = None,
+        timeout: Optional[float] = None,
+        **kwargs,
+    ) -> "Future[Solution]":
+        """Admit one solve request; returns the future of its ``Solution``.
+
+        ``timeout`` is the request's *deadline* budget in seconds: if no
+        worker gets to it in time it fails with
+        :class:`~repro.errors.DeadlineExceededError`.  Extra keyword
+        arguments are kind-specific execution arguments (``lower=False``,
+        ``x0=...``); requests carrying them are executed singly rather
+        than batch-flushed.
+        """
+        if self._closed:
+            raise ServiceClosedError("cannot submit to a closed service")
+        key = self.plan_key(kind, *operands, options=options)
+        request = SolveRequest(
+            kind=kind,
+            operands=tuple(operands),
+            plan_key=key,
+            options=options,
+            kwargs=dict(kwargs),
+            deadline=None if timeout is None else time.monotonic() + timeout,
+        )
+        worker = self._shards[self.shard_index(key)]
+        try:
+            shed = worker.queue.put(request, timeout=self._submit_timeout)
+        except ServiceOverloadedError:
+            worker.telemetry.record_rejected()
+            raise
+        worker.telemetry.record_submitted(kind, len(worker.queue))
+        if shed is not None:
+            worker.telemetry.record_shed()
+            shed.fail(
+                ServiceOverloadedError(
+                    f"request shed after {shed.latency():.3f}s queued: a "
+                    f"newer request arrived on a full shard queue "
+                    f"(policy 'shed_oldest')"
+                )
+            )
+        return request.future
+
+    def solve(
+        self,
+        kind: str,
+        *operands,
+        options: Optional[ExecutionOptions] = None,
+        timeout: Optional[float] = None,
+        **kwargs,
+    ) -> Solution:
+        """Synchronous convenience: ``submit(...).result()``."""
+        future = self.submit(
+            kind, *operands, options=options, timeout=timeout, **kwargs
+        )
+        return future.result()
+
+    def map(
+        self,
+        kind: str,
+        batch: Sequence[Tuple[Any, ...]],
+        options: Optional[ExecutionOptions] = None,
+        timeout: Optional[float] = None,
+    ) -> List[Solution]:
+        """Submit a whole batch and gather results in input order.
+
+        The service-level analogue of ``Solver.solve_batch``: entries fan
+        out across shards by plan key, pile up in admission windows, and
+        come back in the order given.
+        """
+        futures = [
+            self.submit(kind, *entry, options=options, timeout=timeout)
+            for entry in batch
+        ]
+        return [future.result() for future in futures]
+
+    # -- observability ------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """A consistent-enough fleet snapshot (per-shard locks, no global stop)."""
+        return ServiceStats.aggregate(
+            [
+                worker.telemetry.snapshot(
+                    len(worker.queue), worker.solver.cache_stats
+                )
+                for worker in self._shards
+            ]
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and shut the shards down.
+
+        With ``wait`` (the default) every queued request is drained and
+        resolved before workers exit; otherwise pending requests fail with
+        :class:`~repro.errors.ServiceClosedError`.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._shards:
+            worker.request_stop(drain=wait)
+            worker.queue.close()
+        for worker in self._shards:
+            worker.join()
+        # A submit racing with close() can slip a request into a queue
+        # after its worker took the exit path but before queue.close()
+        # took effect; no worker will ever see it, so fail it here rather
+        # than strand the caller's future.
+        closed = ServiceClosedError("service closed before the request ran")
+        for worker in self._shards:
+            for request in worker.queue.drain():
+                if request.fail(closed):
+                    worker.telemetry.record_failed(request.latency())
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SolverService(w={self._spec.w}, n_shards={len(self._shards)}, "
+            f"backpressure={self._policy!r}, closed={self._closed})"
+        )

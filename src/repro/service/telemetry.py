@@ -1,0 +1,262 @@
+"""Service observability: per-shard accounting and fleet-wide snapshots.
+
+Each shard worker owns a :class:`ShardTelemetry` — a lock-guarded bundle
+of counters (per-kind request counts, completions, failures, rejections,
+deadline expiries), a batch-size histogram, a high-water queue depth, and
+a bounded reservoir of recent request latencies.  ``SolverService.stats()``
+snapshots every shard and folds them into one :class:`ServiceStats`:
+aggregate counts, the merged batch histogram, p50/p95 latency over the
+pooled reservoirs, and plan-cache hit rates summed across shards (via
+``CacheStats.__add__``).
+
+Snapshots are immutable values; taking one never blocks the serving path
+beyond the per-shard counter locks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Mapping, Optional, Sequence, Tuple
+
+from ..api.plan import CacheStats
+from ..instrumentation import counters as _instrumentation_counters
+
+__all__ = ["ShardStats", "ShardTelemetry", "ServiceStats", "percentile"]
+
+#: How many recent per-request latencies each shard keeps for percentiles.
+LATENCY_RESERVOIR_SIZE = 4096
+
+# The process-wide instrumentation counters are plain integers; bumps from
+# different shards (each holding only its own telemetry lock) would race,
+# so all service-layer increments serialize on this one module lock.
+_INSTRUMENTATION_LOCK = threading.Lock()
+
+
+def percentile(sample: Sequence[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of ``sample`` (``None`` for an empty sample)."""
+    if not sample:
+        return None
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(sample)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Immutable snapshot of one shard's accounting."""
+
+    shard_id: int
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    shed: int
+    expired: int
+    batches: int
+    requests_by_kind: Mapping[str, int]
+    batch_size_histogram: Mapping[int, int]
+    queue_depth: int
+    max_queue_depth: int
+    latency_p50: Optional[float]
+    latency_p95: Optional[float]
+    cache: CacheStats
+    latency_sample: Tuple[float, ...] = field(repr=False, default=())
+
+
+class ShardTelemetry:
+    """Thread-safe accounting for one shard worker.
+
+    The submitting thread records admission events (submitted, rejected,
+    shed) and the shard worker records execution events (batches,
+    completions, failures, expiries); one lock keeps both sides exact.
+    """
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._shed = 0
+        self._expired = 0
+        self._batches = 0
+        self._by_kind: "Counter[str]" = Counter()
+        self._batch_sizes: "Counter[int]" = Counter()
+        self._max_queue_depth = 0
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_RESERVOIR_SIZE)
+
+    # -- admission events (submitting threads) -----------------------------------
+    def record_submitted(self, kind: str, queue_depth: int) -> None:
+        with self._lock:
+            self._submitted += 1
+            self._by_kind[kind] += 1
+            if queue_depth > self._max_queue_depth:
+                self._max_queue_depth = queue_depth
+        with _INSTRUMENTATION_LOCK:
+            _instrumentation_counters.service_requests += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self._shed += 1
+
+    # -- execution events (the shard worker) -------------------------------------
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batch_sizes[size] += 1
+        with _INSTRUMENTATION_LOCK:
+            _instrumentation_counters.service_batches += 1
+
+    def record_completed(self, latency: float) -> None:
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(latency)
+
+    def record_failed(self, latency: float) -> None:
+        with self._lock:
+            self._failed += 1
+            self._latencies.append(latency)
+
+    def record_expired(self) -> None:
+        with self._lock:
+            self._expired += 1
+
+    # -- snapshot -----------------------------------------------------------------
+    def snapshot(self, queue_depth: int, cache: CacheStats) -> ShardStats:
+        with self._lock:
+            sample = tuple(self._latencies)
+            return ShardStats(
+                shard_id=self.shard_id,
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                rejected=self._rejected,
+                shed=self._shed,
+                expired=self._expired,
+                batches=self._batches,
+                requests_by_kind=dict(self._by_kind),
+                batch_size_histogram=dict(self._batch_sizes),
+                queue_depth=queue_depth,
+                max_queue_depth=self._max_queue_depth,
+                latency_p50=percentile(sample, 0.50),
+                latency_p95=percentile(sample, 0.95),
+                cache=cache,
+                latency_sample=sample,
+            )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Fleet-wide snapshot: every shard folded into one view."""
+
+    n_shards: int
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    shed: int
+    expired: int
+    batches: int
+    requests_by_kind: Mapping[str, int]
+    batch_size_histogram: Mapping[int, int]
+    queue_depth: int
+    max_queue_depth: int
+    latency_p50: Optional[float]
+    latency_p95: Optional[float]
+    cache: CacheStats
+    shards: Tuple[ShardStats, ...]
+
+    @classmethod
+    def aggregate(cls, shards: Sequence[ShardStats]) -> "ServiceStats":
+        by_kind: "Counter[str]" = Counter()
+        histogram: "Counter[int]" = Counter()
+        pooled: List[float] = []
+        cache = CacheStats()
+        for shard in shards:
+            by_kind.update(shard.requests_by_kind)
+            histogram.update(shard.batch_size_histogram)
+            pooled.extend(shard.latency_sample)
+            cache = cache + shard.cache
+        return cls(
+            n_shards=len(shards),
+            submitted=sum(s.submitted for s in shards),
+            completed=sum(s.completed for s in shards),
+            failed=sum(s.failed for s in shards),
+            rejected=sum(s.rejected for s in shards),
+            shed=sum(s.shed for s in shards),
+            expired=sum(s.expired for s in shards),
+            batches=sum(s.batches for s in shards),
+            requests_by_kind=dict(by_kind),
+            batch_size_histogram=dict(histogram),
+            queue_depth=sum(s.queue_depth for s in shards),
+            max_queue_depth=max((s.max_queue_depth for s in shards), default=0),
+            latency_p50=percentile(pooled, 0.50),
+            latency_p95=percentile(pooled, 0.95),
+            cache=cache,
+            shards=tuple(shards),
+        )
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Requests per flush — >1 means admission batching is working."""
+        flushed = sum(size * count for size, count in self.batch_size_histogram.items())
+        return flushed / self.batches if self.batches else 0.0
+
+    def describe(self) -> str:
+        """Multi-line human-readable report (used by the serving demo)."""
+
+        def _ms(value: Optional[float]) -> str:
+            return "n/a" if value is None else f"{value * 1e3:.2f} ms"
+
+        lines = [
+            f"SolverService across {self.n_shards} shard(s)",
+            (
+                f"  requests:    {self.submitted} submitted, "
+                f"{self.completed} completed, {self.failed} failed, "
+                f"{self.rejected} rejected, {self.shed} shed, "
+                f"{self.expired} expired"
+            ),
+            (
+                f"  queue:       {self.queue_depth} pending now, "
+                f"high-water {self.max_queue_depth}"
+            ),
+            (
+                f"  batching:    {self.batches} flushes, "
+                f"mean batch size {self.mean_batch_size:.2f}"
+            ),
+            f"  latency:     p50 {_ms(self.latency_p50)}, p95 {_ms(self.latency_p95)}",
+            (
+                f"  plan cache:  {self.cache.hits} hits / "
+                f"{self.cache.misses} misses "
+                f"(hit rate {self.cache.hit_rate:.3f}), "
+                f"{self.cache.size} plans resident across shards"
+            ),
+        ]
+        if self.requests_by_kind:
+            by_kind = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.requests_by_kind.items())
+            )
+            lines.insert(2, f"  by kind:     {by_kind}")
+        if self.batch_size_histogram:
+            histogram = ", ".join(
+                f"{size}x{count}"
+                for size, count in sorted(self.batch_size_histogram.items())
+            )
+            lines.append(f"  batch sizes: {histogram}")
+        for shard in self.shards:
+            lines.append(
+                f"  shard {shard.shard_id}:     {shard.submitted} requests, "
+                f"{shard.batches} flushes, cache hit rate "
+                f"{shard.cache.hit_rate:.3f}, p95 {_ms(shard.latency_p95)}"
+            )
+        return "\n".join(lines)

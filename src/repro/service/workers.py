@@ -1,0 +1,170 @@
+"""Sharded worker pool: one thread, one solver, one hot plan cache per shard.
+
+Requests are routed to shards by ``hash(plan_key) % n_shards`` (see
+:class:`~repro.service.service.SolverService`), so every request of a
+given plan lands on the same shard: the plan compiles once per shard and
+stays resident in that shard's private
+:class:`~repro.api.plan.PlanCache`.  Because each shard owns its own
+:class:`~repro.api.solver.Solver` and executes on a single thread, plan
+executors never run concurrently — thread-safety concerns collapse to the
+queue, the telemetry lock, and the (now lock-guarded) plan cache.
+
+A worker's loop is: collect an admission window via the
+:class:`~repro.service.batcher.AdmissionBatcher`, split it into plan-keyed
+groups, and flush each group — multi-request matvec groups through
+``Solver.solve_batch`` (riding the overlapped contraflow pairing), every
+other group member individually through ``Solver.solve``.  All failures
+resolve futures; the worker thread itself never dies on a request error.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from ..api.solver import Solver
+from ..errors import DeadlineExceededError, ServiceClosedError
+from .backpressure import BoundedRequestQueue
+from .batcher import AdmissionBatcher
+from .request import SolveRequest
+from .telemetry import ShardTelemetry
+
+__all__ = ["ShardWorker"]
+
+
+class ShardWorker:
+    """One shard: a queue, a batcher, a private solver, and its thread."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        solver: Solver,
+        queue: BoundedRequestQueue,
+        telemetry: ShardTelemetry,
+        max_batch_size: int = 16,
+        max_batch_delay: float = 0.002,
+        idle_poll: float = 0.05,
+        name: Optional[str] = None,
+    ):
+        self.shard_id = shard_id
+        self.solver = solver
+        self.queue = queue
+        self.telemetry = telemetry
+        self._batcher = AdmissionBatcher(
+            queue,
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+            idle_poll=idle_poll,
+        )
+        self._stopping = False
+        self._drain_on_stop = True
+        self._thread = threading.Thread(
+            target=self._run,
+            name=name or f"repro-service-shard-{shard_id}",
+            daemon=True,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        self._thread.start()
+
+    def request_stop(self, drain: bool = True) -> None:
+        """Ask the worker to exit; with ``drain`` it finishes queued work first.
+
+        The caller must also :meth:`BoundedRequestQueue.close` the queue so
+        an idle worker wakes immediately.
+        """
+        self._drain_on_stop = drain
+        self._stopping = True
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    # -- the worker loop ----------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            window = self._batcher.next_window()
+            if not window:
+                if self._stopping and len(self.queue) == 0:
+                    return
+                continue
+            if self._stopping and not self._drain_on_stop:
+                closed = ServiceClosedError(
+                    "service closed without draining pending requests"
+                )
+                for request in window:
+                    if request.fail(closed):
+                        self.telemetry.record_failed(request.latency())
+                continue
+            for group in AdmissionBatcher.group_by_plan(window):
+                self._execute_group(group)
+
+    def _execute_group(self, group: List[SolveRequest]) -> None:
+        """Flush one plan-keyed group, resolving every member's future."""
+        now = time.monotonic()
+        live: List[SolveRequest] = []
+        for request in group:
+            if request.expired(now):
+                self.telemetry.record_expired()
+                request.fail(
+                    DeadlineExceededError(
+                        f"{request.kind} request exceeded its deadline "
+                        f"after {request.latency(now):.3f}s in queue"
+                    )
+                )
+            elif not request.future.set_running_or_notify_cancel():
+                pass  # caller cancelled while queued; nothing to resolve
+            else:
+                live.append(request)
+        if not live:
+            return
+        self.telemetry.record_batch(len(live))
+        # Every live member shares a plan key, hence identical resolved
+        # options — the ExecutionOptions embedded in the key itself.
+        options = live[0].plan_key[3]
+        if len(live) > 1:
+            try:
+                solutions = self.solver.solve_batch(
+                    live[0].kind,
+                    [request.operands for request in live],
+                    options=options,
+                )
+            except Exception:
+                # A plan key only sees operands[0], so one member with
+                # e.g. a wrong-length vector can sink the whole flush.
+                # Re-run the group one by one so the error stays with
+                # the request that caused it.
+                for request in live:
+                    self._execute_one(request, options)
+                return
+            for request, solution in zip(live, solutions):
+                # Telemetry first: a RUNNING future cannot be cancelled,
+                # so set_result is infallible — and the caller it wakes
+                # may read stats() immediately.
+                self.telemetry.record_completed(request.latency())
+                request.future.set_result(solution)
+            return
+        self._execute_one(live[0], options)
+
+    def _execute_one(self, request: SolveRequest, options) -> None:
+        """Solve one (RUNNING) request, resolving its future either way.
+
+        Telemetry is recorded *before* the future resolves: resolution
+        wakes the caller, who may snapshot stats straight away.
+        """
+        try:
+            solution = self.solver.solve(
+                request.kind, *request.operands, options=options, **request.kwargs
+            )
+        except Exception as exc:
+            self.telemetry.record_failed(request.latency())
+            request.fail(exc)
+            return
+        self.telemetry.record_completed(request.latency())
+        request.future.set_result(solution)

@@ -8,6 +8,7 @@ equivalence with sequential solves, and the legacy deprecation shims.
 
 from __future__ import annotations
 
+import threading
 import warnings
 
 import numpy as np
@@ -321,6 +322,166 @@ class TestSolveBatch:
         for (a, b), solution in zip(batch, batched):
             assert np.allclose(solution.values, a @ b)
         assert batched[1].from_cache
+
+
+class TestSolveBatchEdgeCases:
+    def test_single_entry_batch_runs_plain_and_matches_solo(self, rng):
+        solver = Solver(ArraySpec(w=4))
+        a, x = rng.normal(size=(9, 9)), rng.normal(size=9)
+        batched = solver.solve_batch("matvec", [(a, x)])
+        assert len(batched) == 1
+        assert batched[0].stats.get("paired") is None
+        solo = solver.solve("matvec", a, x)
+        assert np.array_equal(batched[0].values, solo.values)
+        assert batched[0].measured_steps == solo.measured_steps
+
+    def test_odd_length_batches_keep_input_order(self, rng):
+        solver = Solver(ArraySpec(w=4))
+        for length in (1, 3, 5, 7):
+            batch = [
+                (rng.normal(size=(8, 8)), rng.normal(size=8))
+                for _ in range(length)
+            ]
+            batched = solver.solve_batch("matvec", batch)
+            assert len(batched) == length
+            # Distinct operands per entry: order mixups cannot cancel out.
+            for (a, x), solution in zip(batch, batched):
+                assert np.array_equal(
+                    solution.values, solver.solve("matvec", a, x).values
+                )
+
+    def test_wrong_arity_entry_is_rejected(self, rng):
+        solver = Solver(ArraySpec(w=4))
+        a, x = rng.normal(size=(6, 6)), rng.normal(size=6)
+        with pytest.raises(ValueError, match="operand sets"):
+            solver.solve_batch("matvec", [(a, x), (a, x, None, x)])
+
+    def test_mixed_kind_operands_are_rejected_not_solved(self, rng):
+        solver = Solver(ArraySpec(w=4))
+        matvec_entry = (rng.normal(size=(6, 6)), rng.normal(size=6))
+        matmul_entry = (rng.normal(size=(6, 6)), rng.normal(size=(6, 3)))
+        with pytest.raises(ShapeError):
+            solver.solve_batch("matvec", [matvec_entry, matmul_entry])
+
+    def test_unknown_kind_is_rejected(self, rng):
+        solver = Solver(ArraySpec(w=4))
+        with pytest.raises(ProblemKindError):
+            solver.solve_batch("fourier", [(rng.normal(size=(4, 4)),)])
+
+    def test_empty_batch_returns_empty_list(self):
+        assert Solver(ArraySpec(w=4)).solve_batch("matvec", []) == []
+
+
+class TestSolverLifetime:
+    def test_context_manager_resets_on_exit(self, rng):
+        with Solver(ArraySpec(w=4)) as solver:
+            solver.solve("matvec", rng.normal(size=(8, 8)), rng.normal(size=8))
+            assert solver.cache_stats.size == 1
+        assert solver.cache_stats.size == 0
+        assert solver.cache_stats.misses == 1  # accounting history survives
+
+    def test_reset_preserves_cache_stats_and_recompiles(self, rng):
+        solver = Solver(ArraySpec(w=4))
+        a, x = rng.normal(size=(8, 8)), rng.normal(size=8)
+        first = solver.solve("matvec", a, x)
+        solver.reset()
+        before = counters.snapshot()
+        again = solver.solve("matvec", a, x)
+        assert counters.delta(before).plan_builds == 1  # cache was dropped
+        assert not again.from_cache
+        assert np.array_equal(again.values, first.values)
+        stats = solver.cache_stats
+        assert stats.misses == 2 and stats.hits == 0  # history preserved
+
+    def test_plan_key_is_public_and_matches_cached_plan(self, rng):
+        solver = Solver(ArraySpec(w=4))
+        a, x = rng.normal(size=(10, 7)), rng.normal(size=7)
+        key = solver.plan_key("matvec", a, x)
+        assert key == solver.plan_key("matvec", shape=(10, 7))
+        assert key == solver.plan("matvec", shape=(10, 7)).key
+        assert hash(key) == hash(solver.plan_key("matvec", a, x))
+        overlapped = solver.plan_key("matvec", a, x, overlapped=True)
+        assert overlapped != key
+
+
+class TestPlanCacheThreadSafety:
+    def test_hammer_shared_solver(self, rng):
+        """Many threads, few cache slots: no torn LRU state, no lost counts."""
+        solver = Solver(ArraySpec(w=4), plan_cache_size=2)
+        shapes = [(8, 8), (10, 8), (8, 10), (12, 12)]
+        problems = {
+            shape: (rng.normal(size=shape), rng.normal(size=shape[1]))
+            for shape in shapes
+        }
+        expected = {
+            shape: np.asarray(a) @ np.asarray(x)
+            for shape, (a, x) in problems.items()
+        }
+        n_threads, per_thread = 8, 24
+        barrier = threading.Barrier(n_threads)
+        failures: "list[BaseException]" = []
+
+        def hammer(seed: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for i in range(per_thread):
+                    shape = shapes[(seed + i) % len(shapes)]
+                    a, x = problems[shape]
+                    solution = solver.solve("matvec", a, x)
+                    assert np.allclose(solution.values, expected[shape])
+                    if i % 10 == 0:
+                        solver.reset()  # concurrent clear() stays consistent
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert failures == []
+        stats = solver.cache_stats
+        # Every solve performs exactly one cache lookup; under races a
+        # lookup is either a hit or a miss, never lost or double-counted.
+        assert stats.hits + stats.misses == n_threads * per_thread
+        assert stats.size <= 2
+
+    def test_hammer_cache_object_directly(self):
+        cache = PlanCache(maxsize=4)
+        sentinel = object()
+        keys = [("matvec", (n, n), 4, None) for n in range(8)]
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        failures: "list[BaseException]" = []
+
+        def hammer(seed: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for i in range(200):
+                    key = keys[(seed * 7 + i) % len(keys)]
+                    if cache.get(key) is None:
+                        cache.put(key, sentinel)  # type: ignore[arg-type]
+                    if i % 50 == 49:
+                        cache.clear()
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert failures == []
+        stats = cache.stats
+        assert stats.hits + stats.misses == n_threads * 200
+        assert stats.size <= 4
+        assert len(cache) <= 4
 
 
 class TestDeprecationShims:

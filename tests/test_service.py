@@ -1,0 +1,521 @@
+"""Tests for the concurrent serving layer (``repro.service``).
+
+Covers the subsystem's acceptance criteria: plan-keyed routing, admission
+batching, the three backpressure policies, per-request deadlines,
+telemetry aggregation, drain/no-drain shutdown — and the concurrency soak
+(8 client threads x 50 requests each through a 4-shard service, results
+bit-identical to direct ``Solver.solve`` calls, zero dropped futures
+under the ``block`` policy).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.api import ArraySpec, ExecutionOptions, Solver
+from repro.errors import (
+    DeadlineExceededError,
+    ProblemKindError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ShapeError,
+)
+from repro.instrumentation import counters
+from repro.service import (
+    AdmissionBatcher,
+    BoundedRequestQueue,
+    SolveRequest,
+    SolverService,
+)
+
+W = 4
+
+
+def _request(kind: str = "matvec", key=None) -> SolveRequest:
+    """A minimal queueable request (the queue never inspects operands)."""
+    return SolveRequest(
+        kind=kind,
+        operands=(),
+        plan_key=key if key is not None else (kind, (8, 8), W, None),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the bounded queue and its policies (deterministic, no threads)
+# --------------------------------------------------------------------------- #
+class TestBoundedRequestQueue:
+    def test_fifo_and_drain(self):
+        queue = BoundedRequestQueue(4)
+        requests = [_request() for _ in range(3)]
+        for request in requests:
+            assert queue.put(request) is None
+        assert len(queue) == 3
+        assert queue.get(timeout=0) is requests[0]
+        assert queue.drain() == requests[1:]
+        assert len(queue) == 0
+
+    def test_reject_policy_raises_when_full(self):
+        queue = BoundedRequestQueue(2, policy="reject")
+        queue.put(_request())
+        queue.put(_request())
+        with pytest.raises(ServiceOverloadedError):
+            queue.put(_request())
+
+    def test_shed_oldest_policy_returns_the_evicted_request(self):
+        queue = BoundedRequestQueue(2, policy="shed_oldest")
+        oldest = _request()
+        queue.put(oldest)
+        queue.put(_request())
+        newest = _request()
+        shed = queue.put(newest)
+        assert shed is oldest
+        assert len(queue) == 2
+        queue.get(timeout=0)
+        assert queue.get(timeout=0) is newest
+
+    def test_block_policy_times_out_when_no_consumer(self):
+        queue = BoundedRequestQueue(1, policy="block")
+        queue.put(_request())
+        with pytest.raises(ServiceOverloadedError):
+            queue.put(_request(), timeout=0.01)
+
+    def test_block_policy_wakes_when_space_appears(self):
+        queue = BoundedRequestQueue(1, policy="block")
+        queue.put(_request())
+        release = threading.Timer(0.02, lambda: queue.get(timeout=0))
+        release.start()
+        try:
+            assert queue.put(_request(), timeout=2.0) is None
+        finally:
+            release.join()
+
+    def test_closed_queue_refuses_producers_and_unblocks_consumers(self):
+        queue = BoundedRequestQueue(2)
+        queue.put(_request())
+        queue.close()
+        with pytest.raises(ServiceClosedError):
+            queue.put(_request())
+        assert queue.get(timeout=0) is not None  # queued work stays drainable
+        assert queue.get(timeout=10.0) is None  # returns at once, no wait
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedRequestQueue(0)
+        with pytest.raises(ValueError):
+            BoundedRequestQueue(4, policy="drop_newest")
+
+
+# --------------------------------------------------------------------------- #
+# admission windows and plan-key grouping
+# --------------------------------------------------------------------------- #
+class TestAdmissionBatcher:
+    def test_window_collects_up_to_max_batch_size(self):
+        queue = BoundedRequestQueue(16)
+        for _ in range(5):
+            queue.put(_request())
+        batcher = AdmissionBatcher(queue, max_batch_size=3, max_batch_delay=0.0)
+        assert len(batcher.next_window()) == 3
+        assert len(batcher.next_window()) == 2
+
+    def test_idle_poll_returns_empty_window(self):
+        queue = BoundedRequestQueue(4)
+        batcher = AdmissionBatcher(queue, idle_poll=0.01)
+        assert batcher.next_window() == []
+
+    def test_group_by_plan_preserves_arrival_order(self):
+        key_a = ("matvec", (8, 8), W, None)
+        key_b = ("matvec", (12, 12), W, None)
+        a1, b1, a2, b2 = (
+            _request(key=key_a),
+            _request(key=key_b),
+            _request(key=key_a),
+            _request(key=key_b),
+        )
+        groups = AdmissionBatcher.group_by_plan([a1, b1, a2, b2])
+        assert groups == [[a1, a2], [b1, b2]]
+
+    def test_requests_with_kwargs_become_singleton_groups(self):
+        key = ("triangular", (8,), W, None)
+        plain = _request(kind="triangular", key=key)
+        lowered = SolveRequest(
+            kind="triangular", operands=(), plan_key=key, kwargs={"lower": False}
+        )
+        groups = AdmissionBatcher.group_by_plan([plain, lowered, plain])
+        assert groups == [[plain, plain], [lowered]]
+
+
+# --------------------------------------------------------------------------- #
+# the service front door
+# --------------------------------------------------------------------------- #
+class TestSolverService:
+    def test_submit_returns_future_with_solution_protocol(self, rng):
+        a = rng.normal(size=(10, 7))
+        x = rng.normal(size=7)
+        reference = Solver(ArraySpec(W)).solve("matvec", a, x)
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            future = service.submit("matvec", a, x)
+            solution = future.result(timeout=30)
+        assert solution.kind == "matvec"
+        assert np.array_equal(solution.values, reference.values)
+        assert solution.measured_steps == reference.measured_steps
+
+    def test_routing_is_deterministic_and_key_matches_solver(self, rng):
+        service = SolverService(ArraySpec(W), n_shards=4)
+        try:
+            a = rng.normal(size=(10, 7))
+            x = rng.normal(size=7)
+            key = service.plan_key("matvec", a, x)
+            assert key == Solver(ArraySpec(W)).plan_key("matvec", a, x)
+            assert key == service.plan_key("matvec", shape=(10, 7))
+            index = service.shard_index(key)
+            for _ in range(3):
+                assert service.shard_index(key) == index
+        finally:
+            service.close()
+
+    def test_same_plan_requests_share_one_shard_cache(self, rng):
+        with SolverService(ArraySpec(W), n_shards=4) as service:
+            batch = [
+                (rng.normal(size=(12, 12)), rng.normal(size=12)) for _ in range(10)
+            ]
+            service.map("matvec", batch)
+            stats = service.stats()
+        home = service.shard_index(service.plan_key("matvec", shape=(12, 12)))
+        assert stats.shards[home].submitted == 10
+        assert stats.cache.misses == 1  # one compile for the whole fleet
+        assert stats.cache.hits == 9
+
+    def test_map_preserves_input_order_across_shards(self, rng):
+        shapes = [(8, 8), (12, 10), (10, 12), (8, 8), (12, 10)]
+        batch = [(rng.normal(size=s), rng.normal(size=s[1])) for s in shapes]
+        expected = [
+            Solver(ArraySpec(W)).solve("matvec", a, x).values for a, x in batch
+        ]
+        with SolverService(ArraySpec(W), n_shards=3) as service:
+            results = service.map("matvec", batch)
+        for solution, values in zip(results, expected):
+            assert np.array_equal(solution.values, values)
+
+    def test_execution_kwargs_flow_through(self, rng):
+        t = np.tril(rng.normal(size=(8, 8))) + 5.0 * np.eye(8)
+        b = rng.normal(size=8)
+        reference = Solver(ArraySpec(W)).solve("triangular", t.T, b, lower=False)
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            solution = service.solve("triangular", t.T, b, lower=False)
+        assert np.array_equal(solution.values, reference.values)
+
+    def test_per_request_options_route_and_apply(self, rng):
+        a = rng.normal(size=(8, 8))
+        x = rng.normal(size=8)
+        simulate = ExecutionOptions(backend="simulate")
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            solution = service.solve("matvec", a, x, options=simulate)
+            assert solution.plan_key[3] == simulate
+
+    def test_submit_validates_synchronously(self, rng):
+        with SolverService(ArraySpec(W), n_shards=1) as service:
+            with pytest.raises(ProblemKindError):
+                service.submit("fourier", rng.normal(size=(4, 4)))
+            with pytest.raises(ShapeError):
+                service.submit("lu", rng.normal(size=(4, 6)))
+
+    def test_solve_propagates_execution_errors(self, rng):
+        with SolverService(ArraySpec(W), n_shards=1) as service:
+            future = service.submit(
+                "matvec", rng.normal(size=(8, 8)), rng.normal(size=5)
+            )
+            with pytest.raises(ShapeError):
+                future.result(timeout=30)
+        stats = service.stats()
+        assert stats.failed == 1
+
+    def test_closed_service_rejects_submissions(self, rng):
+        service = SolverService(ArraySpec(W), n_shards=1)
+        service.close()
+        assert service.closed
+        with pytest.raises(ServiceClosedError):
+            service.submit("matvec", rng.normal(size=(8, 8)), rng.normal(size=8))
+        service.close()  # idempotent
+
+    def test_close_drains_pending_work(self, rng):
+        service = SolverService(
+            ArraySpec(W), n_shards=2, max_batch_delay=0.0, queue_depth=256
+        )
+        batch = [(rng.normal(size=(8, 8)), rng.normal(size=8)) for _ in range(40)]
+        futures = [service.submit("matvec", a, x) for a, x in batch]
+        service.close(wait=True)
+        assert all(future.done() for future in futures)
+        assert all(future.exception() is None for future in futures)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            SolverService(ArraySpec(W), n_shards=0)
+        with pytest.raises(ValueError):
+            SolverService(ArraySpec(W), backpressure="panic")
+
+
+# --------------------------------------------------------------------------- #
+# overload behaviour with a deliberately stalled worker
+# --------------------------------------------------------------------------- #
+def _stalled_service(monkeypatch, policy: str, queue_depth: int):
+    """A 1-shard service whose worker blocks in solve until ``gate`` is set."""
+    service = SolverService(
+        ArraySpec(W),
+        n_shards=1,
+        queue_depth=queue_depth,
+        backpressure=policy,
+        max_batch_size=1,
+        max_batch_delay=0.0,
+        idle_poll=0.01,
+    )
+    gate = threading.Event()
+    shard_solver = service.shards[0].solver
+    original = shard_solver.solve
+
+    def gated_solve(*args, **kwargs):
+        gate.wait(timeout=30)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(shard_solver, "solve", gated_solve)
+    return service, gate
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> None:
+    cutoff = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > cutoff:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.002)
+
+
+class TestBackpressurePolicies:
+    def test_reject_policy_raises_at_the_front_door(self, rng, monkeypatch):
+        service, gate = _stalled_service(monkeypatch, "reject", queue_depth=2)
+        a, x = rng.normal(size=(8, 8)), rng.normal(size=8)
+        try:
+            first = service.submit("matvec", a, x)
+            # The worker holds `first`; now fill the queue behind it.
+            _wait_until(lambda: len(service.shards[0].queue) == 0)
+            queued = [service.submit("matvec", a, x) for _ in range(2)]
+            with pytest.raises(ServiceOverloadedError):
+                service.submit("matvec", a, x)
+            gate.set()
+            for future in [first, *queued]:
+                assert future.result(timeout=30) is not None
+        finally:
+            gate.set()
+            service.close()
+        assert service.stats().rejected == 1
+
+    def test_shed_oldest_policy_fails_the_displaced_future(self, rng, monkeypatch):
+        service, gate = _stalled_service(monkeypatch, "shed_oldest", queue_depth=1)
+        a, x = rng.normal(size=(8, 8)), rng.normal(size=8)
+        try:
+            first = service.submit("matvec", a, x)
+            _wait_until(lambda: len(service.shards[0].queue) == 0)
+            old = service.submit("matvec", a, x)
+            new = service.submit("matvec", a, x)  # displaces `old`
+            with pytest.raises(ServiceOverloadedError):
+                old.result(timeout=30)
+            gate.set()
+            assert new.result(timeout=30) is not None
+            assert first.result(timeout=30) is not None
+        finally:
+            gate.set()
+            service.close()
+        assert service.stats().shed == 1
+
+    def test_deadline_expires_while_queued(self, rng, monkeypatch):
+        service, gate = _stalled_service(monkeypatch, "block", queue_depth=8)
+        a, x = rng.normal(size=(8, 8)), rng.normal(size=8)
+        try:
+            unhurried = service.submit("matvec", a, x)
+            _wait_until(lambda: len(service.shards[0].queue) == 0)
+            hurried = service.submit("matvec", a, x, timeout=0.005)
+            time.sleep(0.03)  # let the deadline lapse while it sits queued
+            gate.set()
+            with pytest.raises(DeadlineExceededError):
+                hurried.result(timeout=30)
+            assert unhurried.result(timeout=30) is not None
+        finally:
+            gate.set()
+            service.close()
+        assert service.stats().expired == 1
+
+    def test_bad_request_in_a_flush_group_does_not_poison_neighbours(
+        self, rng, monkeypatch
+    ):
+        # A wrong-length x shares the plan key of a valid request (keys
+        # only see the matrix shape), so both land in one flush group;
+        # the failure must stay with the malformed request.
+        service, gate = _stalled_service(monkeypatch, "block", queue_depth=8)
+        # Re-enable grouping: the stalled helper uses singleton windows.
+        batcher = service.shards[0]._batcher
+        monkeypatch.setattr(batcher, "_max_batch_size", 8)
+        a = rng.normal(size=(8, 8))
+        good_x, bad_x = rng.normal(size=8), rng.normal(size=5)
+        try:
+            first = service.submit("matvec", a, good_x)
+            _wait_until(lambda: len(service.shards[0].queue) == 0)
+            good = service.submit("matvec", a, good_x)
+            bad = service.submit("matvec", a, bad_x)
+            gate.set()
+            assert np.array_equal(
+                good.result(timeout=30).values, first.result(timeout=30).values
+            )
+            with pytest.raises(ShapeError):
+                bad.result(timeout=30)
+        finally:
+            gate.set()
+            service.close()
+        stats = service.stats()
+        assert stats.completed == 2 and stats.failed == 1
+
+    def test_close_without_drain_fails_pending_futures(self, rng, monkeypatch):
+        service, gate = _stalled_service(monkeypatch, "block", queue_depth=8)
+        a, x = rng.normal(size=(8, 8)), rng.normal(size=8)
+        running = service.submit("matvec", a, x)
+        _wait_until(lambda: len(service.shards[0].queue) == 0)
+        pending = [service.submit("matvec", a, x) for _ in range(3)]
+        gate.set()
+        service.close(wait=False)
+        assert running.result(timeout=30) is not None
+        for future in pending:
+            with pytest.raises(ServiceClosedError):
+                future.result(timeout=30)
+
+
+# --------------------------------------------------------------------------- #
+# telemetry
+# --------------------------------------------------------------------------- #
+class TestTelemetry:
+    def test_stats_account_for_every_request(self, rng):
+        before = counters.snapshot()
+        with SolverService(ArraySpec(W), n_shards=2, max_batch_delay=0.001) as service:
+            matvec_batch = [
+                (rng.normal(size=(12, 12)), rng.normal(size=12)) for _ in range(12)
+            ]
+            service.map("matvec", matvec_batch)
+            service.solve("matmul", rng.normal(size=(6, 6)), rng.normal(size=(6, 6)))
+            stats = service.stats()
+        delta = counters.delta(before)
+
+        assert stats.submitted == 13
+        assert stats.completed == 13
+        assert stats.failed == stats.rejected == stats.shed == stats.expired == 0
+        assert stats.requests_by_kind == {"matvec": 12, "matmul": 1}
+        assert stats.queue_depth == 0
+        assert sum(
+            size * count for size, count in stats.batch_size_histogram.items()
+        ) == 13
+        assert stats.batches >= 2  # two plans can never share a flush
+        assert stats.latency_p50 is not None
+        assert stats.latency_p95 >= stats.latency_p50
+        assert stats.cache.misses == 2  # one compile per distinct plan
+        assert stats.cache.hits == 11
+        assert delta.service_requests == 13
+        assert delta.service_batches == stats.batches
+
+    def test_batching_actually_groups_requests(self, rng):
+        # A stuffed queue + a non-zero admission window => multi-request
+        # flushes, visible in the histogram and the mean batch size.
+        service = SolverService(
+            ArraySpec(W), n_shards=1, max_batch_size=8, max_batch_delay=0.05,
+            queue_depth=128,
+        )
+        try:
+            a = rng.normal(size=(12, 12))
+            x = rng.normal(size=12)
+            service.solve("matvec", a, x)  # compile the plan first
+            futures = [service.submit("matvec", a, x) for _ in range(24)]
+            for future in futures:
+                future.result(timeout=30)
+            stats = service.stats()
+        finally:
+            service.close()
+        assert stats.mean_batch_size > 1.0
+        assert max(stats.batch_size_histogram) > 1
+
+    def test_describe_mentions_the_load_bearing_numbers(self, rng):
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            service.solve("matvec", rng.normal(size=(8, 8)), rng.normal(size=8))
+            text = service.stats().describe()
+        assert "1 submitted" in text
+        assert "plan cache" in text
+        assert "shard 0" in text and "shard 1" in text
+
+
+# --------------------------------------------------------------------------- #
+# the concurrency soak (acceptance criterion)
+# --------------------------------------------------------------------------- #
+class TestConcurrencySoak:
+    N_CLIENTS = 8
+    REQUESTS_PER_CLIENT = 50
+
+    def test_soak_bit_identical_zero_drops(self, rng):
+        shapes = [(8, 8), (12, 10), (10, 12)]
+        problems = [
+            ("matvec", (rng.normal(size=shape), rng.normal(size=shape[1])))
+            for shape in shapes
+        ]
+        problems.append(
+            ("matmul", (rng.normal(size=(6, 6)), rng.normal(size=(6, 6))))
+        )
+        reference = Solver(ArraySpec(W))
+        expected = [
+            reference.solve(kind, *operands).values for kind, operands in problems
+        ]
+
+        service = SolverService(
+            ArraySpec(W),
+            n_shards=4,
+            backpressure="block",
+            queue_depth=16,  # small on purpose: clients must block and recover
+            max_batch_delay=0.001,
+        )
+        futures: "list[list[Future]]" = [[] for _ in range(self.N_CLIENTS)]
+        errors: "list[BaseException]" = []
+
+        def client(client_id: int) -> None:
+            try:
+                for i in range(self.REQUESTS_PER_CLIENT):
+                    kind, operands = problems[(client_id + i) % len(problems)]
+                    futures[client_id].append(service.submit(kind, *operands))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(client_id,))
+            for client_id in range(self.N_CLIENTS)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert errors == []
+
+            total = 0
+            for client_id, client_futures in enumerate(futures):
+                assert len(client_futures) == self.REQUESTS_PER_CLIENT
+                for i, future in enumerate(client_futures):
+                    solution = future.result(timeout=60)  # no dropped futures
+                    index = (client_id + i) % len(problems)
+                    assert np.array_equal(solution.values, expected[index])
+                    total += 1
+            assert total == self.N_CLIENTS * self.REQUESTS_PER_CLIENT
+        finally:
+            service.close()
+
+        stats = service.stats()
+        assert stats.submitted == total
+        assert stats.completed == total
+        assert stats.failed == stats.rejected == stats.shed == stats.expired == 0
+        # Routing kept every plan on one home shard: one miss per distinct
+        # plan fleet-wide, everything else warm.
+        assert stats.cache.misses == len(problems)
