@@ -14,20 +14,21 @@ For context the report also times the strongest sequential baseline — a
 single warm ``Solver`` solving one request at a time — which isolates the
 queueing/batching overhead the service adds on top of warm execution.
 
-Results are appended to ``BENCH_service.json`` at the repository root (a
-machine-readable trajectory point; CI uploads it as an artifact).
+Results are recorded in ``BENCH_service.json`` at the repository root (a
+machine-readable trajectory point, keyed by git sha so re-runs update
+rather than duplicate; CI uploads it as an artifact).
 """
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Tuple
+from typing import Any, List, Tuple
 
 import numpy as np
 
+from repro.analysis.trajectory import record_trajectory_point
 from repro.api import ArraySpec, Solver
 from repro.service import SolverService
 
@@ -138,20 +139,6 @@ def _serve_concurrently(workload: Workload) -> Tuple[float, Any]:
     return elapsed, stats
 
 
-def _write_trajectory_point(payload: Dict[str, Any]) -> None:
-    """Append this run to the BENCH_service.json trajectory."""
-    trajectory: List[Dict[str, Any]] = []
-    if BENCH_PATH.exists():
-        try:
-            existing = json.loads(BENCH_PATH.read_text())
-            if isinstance(existing, list):
-                trajectory = existing
-        except (OSError, json.JSONDecodeError):  # pragma: no cover - corrupt file
-            trajectory = []
-    trajectory.append(payload)
-    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
-
-
 class TestServiceThroughput:
     def test_batched_serving_at_least_2x_naive(self, rng, show_report):
         from repro.analysis.report import ExperimentReport
@@ -181,7 +168,8 @@ class TestServiceThroughput:
             f"requests/s); admission batching or plan routing regressed"
         )
 
-        _write_trajectory_point(
+        record_trajectory_point(
+            BENCH_PATH,
             {
                 "benchmark": "service_throughput",
                 "unix_time": time.time(),

@@ -56,6 +56,7 @@ from .errors import (
     ArraySizeError,
     BackendError,
     BandwidthError,
+    ConvergenceError,
     DeadlineExceededError,
     FeedbackError,
     RecoveryError,
@@ -68,6 +69,7 @@ from .errors import (
     SimulationError,
     TransformError,
 )
+from .iterative import ConvergenceCriteria, IterativeResult
 from .matrices.banded import BandMatrix
 from .matrices.blocks import BlockGrid
 from .service import ServiceStats, SolverService
@@ -84,6 +86,8 @@ __all__ = [
     "BandMatrix",
     "BandwidthError",
     "BlockGrid",
+    "ConvergenceCriteria",
+    "ConvergenceError",
     "DBTByRowsTransform",
     "DBTTransposedByRowsTransform",
     "DeadlineExceededError",
@@ -91,6 +95,7 @@ __all__ = [
     "ExecutionPlan",
     "FeedbackError",
     "HexagonalArray",
+    "IterativeResult",
     "LinearContraflowArray",
     "LinearProblem",
     "MatMulModel",

@@ -9,10 +9,13 @@ from .figures import (
     render_fig6_recovery_map,
 )
 from .report import ExperimentReport, ExperimentRow
+from .trajectory import current_git_sha, record_trajectory_point
 
 __all__ = [
     "ExperimentReport",
     "ExperimentRow",
+    "current_git_sha",
+    "record_trajectory_point",
     "render_fig1_block_structure",
     "render_fig2_concrete_case",
     "render_fig3_dataflow",

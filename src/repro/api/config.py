@@ -20,6 +20,7 @@ from dataclasses import dataclass, replace
 
 from ..backends.registry import AUTO_BACKEND, get_backend
 from ..errors import ArraySizeError
+from ..iterative.criteria import ConvergenceCriteria
 from ..matrices.padding import validate_array_size
 
 __all__ = ["ArraySpec", "ExecutionOptions"]
@@ -80,7 +81,16 @@ class ExecutionOptions:
     sparse_tolerance
         Magnitude below which a ``w x w`` block counts as zero (sparse).
     gs_tolerance / gs_max_iterations
-        Convergence control (gauss_seidel).
+        Legacy convergence control (gauss_seidel); superseded by
+        ``criteria`` for the :mod:`repro.iterative` kinds.
+    criteria
+        :class:`~repro.iterative.criteria.ConvergenceCriteria` for the
+        iterative kinds (jacobi, sor, cg, refine, power).  Frozen and
+        hashable, so it participates in the plan key like every other
+        option.
+    sor_omega
+        Relaxation factor for the ``sor`` kind (``1.0`` is Gauss-Seidel;
+        convergence needs ``0 < omega < 2``).
     """
 
     record_trace: bool = False
@@ -89,6 +99,8 @@ class ExecutionOptions:
     sparse_tolerance: float = 0.0
     gs_tolerance: float = 1e-10
     gs_max_iterations: int = 200
+    criteria: ConvergenceCriteria = ConvergenceCriteria()
+    sor_omega: float = 1.0
     backend: str = AUTO_BACKEND
 
     def __post_init__(self) -> None:
@@ -103,6 +115,14 @@ class ExecutionOptions:
         if self.gs_max_iterations < 1:
             raise ValueError(
                 f"gs_max_iterations must be >= 1, got {self.gs_max_iterations}"
+            )
+        if not isinstance(self.criteria, ConvergenceCriteria):
+            raise ValueError(
+                f"criteria must be a ConvergenceCriteria, got {self.criteria!r}"
+            )
+        if not 0.0 < self.sor_omega < 2.0:
+            raise ValueError(
+                f"sor_omega must satisfy 0 < omega < 2, got {self.sor_omega}"
             )
 
     def merged(self, **overrides) -> "ExecutionOptions":

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
+from ..instrumentation import CacheStats
 from .config import ArraySpec, ExecutionOptions
 
 __all__ = ["ExecutionPlan", "CacheStats", "PlanCache", "PlanKey"]
@@ -97,34 +97,6 @@ class ExecutionPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return self.describe()
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss/eviction accounting of one :class:`PlanCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    size: int = 0
-    maxsize: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def __add__(self, other: "CacheStats") -> "CacheStats":
-        """Fleet-wide accounting: sum counters across caches (e.g. shards)."""
-        if not isinstance(other, CacheStats):
-            return NotImplemented
-        return CacheStats(
-            hits=self.hits + other.hits,
-            misses=self.misses + other.misses,
-            evictions=self.evictions + other.evictions,
-            size=self.size + other.size,
-            maxsize=self.maxsize + other.maxsize,
-        )
 
 
 class PlanCache:

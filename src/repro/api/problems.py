@@ -1,10 +1,11 @@
 """Problem handlers: every workload of the package behind one registry.
 
 The six primary kinds — ``matvec``, ``matmul``, ``lu``, ``triangular``,
-``gauss_seidel``, ``sparse`` — plus the comparison baselines the paper
-cites (``prt``, ``naive_matvec``, ``naive_matmul``, ``block_partitioned``)
-are each wrapped into a :class:`~repro.api.registry.ProblemHandler` and
-registered at import time.  Handlers normalize shapes for the plan-cache
+``gauss_seidel``, ``sparse`` — the five plan-cached iterative kinds —
+``jacobi``, ``sor``, ``cg``, ``refine``, ``power`` — plus the comparison
+baselines the paper cites (``prt``, ``naive_matvec``, ``naive_matmul``,
+``block_partitioned``) are each wrapped into a
+:class:`~repro.api.registry.ProblemHandler` and registered at import time.  Handlers normalize shapes for the plan-cache
 key, compile the kind's executor, and adapt the kind-specific result into
 the common :class:`~repro.api.solution.Solution` protocol.
 """
@@ -20,19 +21,28 @@ from ..baselines.naive_band import NaiveBlockMatMul, NaiveBlockMatVec
 from ..baselines.prt import PRTMatVec
 from ..core.plans import MatMulPlan, MatVecPlan, OverlappedMatVecPlan
 from ..errors import ShapeError
-from ..extensions.gauss_seidel import SystolicGaussSeidel
 from ..extensions.lu import SystolicLU
 from ..extensions.sparse import BlockSparseMatVec
 from ..extensions.triangular import SystolicTriangularSolver
+from ..iterative import (
+    ConjugateGradientSolver,
+    ConvergenceCriteria,
+    IterativeRefinementSolver,
+    IterativeResult,
+    JacobiSolver,
+    PowerIterationSolver,
+    SORSolver,
+)
 from ..matrices.dense import as_matrix
 from .config import ArraySpec, ExecutionOptions
 from .registry import ProblemHandler, register
 from .solution import FeedbackStats, Solution
 
-__all__ = ["PRIMARY_KINDS", "BASELINE_KINDS"]
+__all__ = ["PRIMARY_KINDS", "BASELINE_KINDS", "ITERATIVE_KINDS"]
 
 PRIMARY_KINDS = ("matvec", "matmul", "lu", "triangular", "gauss_seidel", "sparse")
 BASELINE_KINDS = ("prt", "naive_matvec", "naive_matmul", "block_partitioned")
+ITERATIVE_KINDS = ("jacobi", "sor", "cg", "refine", "power")
 
 
 def _matrix_shape(value, name: str) -> Tuple[int, int]:
@@ -255,28 +265,132 @@ class LUHandler(ProblemHandler):
 
 
 # --------------------------------------------------------------------------- #
-# Gauss-Seidel iteration
+# iterative solvers (jacobi / sor / cg / refine / power + legacy gauss_seidel)
 # --------------------------------------------------------------------------- #
-class GaussSeidelHandler(ProblemHandler):
-    """``A x = b`` by the splitting ``(D + L) x_{k+1} = b - U x_k``."""
+class _IterativeHandler(ProblemHandler):
+    """Shared adapter for the :mod:`repro.iterative` plan-cached solvers.
 
-    kind = "gauss_seidel"
+    The compiled "plan" is the solver engine itself: its inner per-shape
+    plan caches are what a k-sweep solve keeps hot, and what repeated
+    same-shape requests through :mod:`repro.service` reuse across jobs.
+    """
 
     def shapes(self, *, operands=None, shape=None) -> Tuple[int]:
         if operands is not None:
             matrix_shape = _matrix_shape(operands[0], "matrix")
             if matrix_shape[0] != matrix_shape[1]:
                 raise ShapeError(
-                    f"Gauss-Seidel needs a square matrix, got {matrix_shape}"
+                    f"{self.kind} needs a square matrix, got {matrix_shape}"
                 )
             return (matrix_shape[0],)
         return _square_side(shape, self.kind)
 
+    def _wrap(self, plan, result: IterativeResult) -> Solution:
+        stats = {
+            "iterations": result.iterations,
+            "converged": result.converged,
+            "residual_norm": result.residual_norm,
+            "plan_builds_first_sweep": result.plan_builds_first_sweep,
+            "plan_builds_warm_sweeps": result.plan_builds_warm_sweeps,
+            "cache": result.cache,
+        }
+        if result.eigenvalue is not None:
+            stats["eigenvalue"] = result.eigenvalue
+        return Solution(
+            kind=self.kind,
+            w=plan.spec.w,
+            values=result.x,
+            measured_steps=result.array_steps,
+            stats=stats,
+            raw=result,
+            plan_key=plan.key,
+        )
+
+    def execute(self, plan, matrix, b, x0=None) -> Solution:
+        return self._wrap(plan, plan.executor.solve(matrix, b, x0))
+
+
+class JacobiHandler(_IterativeHandler):
+    """``A x = b`` by ``x_{k+1} = D^{-1} (b - R x_k)``."""
+
+    kind = "jacobi"
+
     def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
-        return SystolicGaussSeidel(
+        return JacobiSolver(
+            spec.w, criteria=options.criteria, backend=options.backend
+        )
+
+
+class SORHandler(_IterativeHandler):
+    """``A x = b`` by weighted Gauss-Seidel relaxation (``sor_omega``)."""
+
+    kind = "sor"
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return SORSolver(
             spec.w,
-            tolerance=options.gs_tolerance,
-            max_iterations=options.gs_max_iterations,
+            omega=options.sor_omega,
+            criteria=options.criteria,
+            backend=options.backend,
+        )
+
+
+class ConjugateGradientHandler(_IterativeHandler):
+    """``A x = b`` for SPD ``A`` by conjugate gradients."""
+
+    kind = "cg"
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return ConjugateGradientSolver(
+            spec.w, criteria=options.criteria, backend=options.backend
+        )
+
+
+class IterativeRefinementHandler(_IterativeHandler):
+    """``A x = b`` by blocked LU plus refinement sweeps."""
+
+    kind = "refine"
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return IterativeRefinementSolver(
+            spec.w, criteria=options.criteria, backend=options.backend
+        )
+
+
+class PowerIterationHandler(_IterativeHandler):
+    """Dominant eigenpair of a square matrix by power iteration."""
+
+    kind = "power"
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return PowerIterationSolver(
+            spec.w, criteria=options.criteria, backend=options.backend
+        )
+
+    def execute(self, plan, matrix, x0=None) -> Solution:
+        return self._wrap(plan, plan.executor.solve(matrix, x0))
+
+
+class GaussSeidelHandler(_IterativeHandler):
+    """``A x = b`` by the splitting ``(D + L) x_{k+1} = b - U x_k``.
+
+    Kept for the seed API: the legacy ``gs_tolerance`` /
+    ``gs_max_iterations`` options map onto the SOR engine with
+    ``omega = 1`` (and, like the seed, no divergence guard).
+    """
+
+    kind = "gauss_seidel"
+
+    def build(self, spec: ArraySpec, options: ExecutionOptions, shapes):
+        return SORSolver(
+            spec.w,
+            omega=1.0,
+            criteria=ConvergenceCriteria(
+                atol=options.gs_tolerance,
+                rtol=0.0,
+                max_iter=options.gs_max_iterations,
+                divergence_ratio=float("inf"),
+            ),
             backend=options.backend,
         )
 
@@ -460,6 +574,11 @@ for _handler_class in (
     LUHandler,
     GaussSeidelHandler,
     SparseHandler,
+    JacobiHandler,
+    SORHandler,
+    ConjugateGradientHandler,
+    IterativeRefinementHandler,
+    PowerIterationHandler,
     PRTHandler,
     NaiveMatVecHandler,
     NaiveMatMulHandler,

@@ -43,6 +43,7 @@ import numpy as np
 from ..backends.registry import SIMULATE, VECTORIZED, resolve_backend
 from ..backends.vectorized import HexSweepPlan, LinearSweepPlan, build_linear_run
 from ..errors import ShapeError
+from ..instrumentation import CacheStats, counters
 from ..matrices.banded import BandMatrix
 from ..matrices.dense import as_matrix, as_vector
 from ..matrices.padding import pad_matrix, pad_vector, validate_array_size
@@ -620,6 +621,9 @@ class CachedMatVec:
         self._overlapped = bool(overlapped)
         self._backend = resolve_backend(backend, record_trace=self._record_trace)
         self._plans: "OrderedDict[Tuple[int, int], object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     @property
     def w(self) -> int:
@@ -633,11 +637,29 @@ class CachedMatVec:
     def backend(self) -> str:
         return self._backend
 
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction accounting of the per-shape plan memo.
+
+        The iterative solvers aggregate these across their inner engines
+        to *prove* warm-plan reuse (a k-sweep solve should show one miss
+        per distinct inner shape and hits for everything else).
+        """
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._plans),
+            maxsize=self.MAX_PLANS,
+        )
+
     def plan_for(self, n: int, m: int):
         """The (memoized) plan for one operand shape."""
         key = (int(n), int(m))
         plan = self._plans.get(key)
         if plan is None:
+            self._misses += 1
+            counters.plan_builds += 1
             if self._overlapped:
                 plan = OverlappedMatVecPlan(
                     key[0], key[1], self._w,
@@ -653,7 +675,9 @@ class CachedMatVec:
             self._plans[key] = plan
             while len(self._plans) > self.MAX_PLANS:
                 self._plans.popitem(last=False)
+                self._evictions += 1
         else:
+            self._hits += 1
             self._plans.move_to_end(key)
         return plan
 
@@ -678,6 +702,9 @@ class CachedMatMul:
         self._verify_structure = bool(verify_structure)
         self._backend = resolve_backend(backend)
         self._plans: "OrderedDict[Tuple[int, int, int], MatMulPlan]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     @property
     def w(self) -> int:
@@ -687,10 +714,23 @@ class CachedMatMul:
     def backend(self) -> str:
         return self._backend
 
+    @property
+    def stats(self) -> CacheStats:
+        """See :attr:`CachedMatVec.stats`."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._plans),
+            maxsize=self.MAX_PLANS,
+        )
+
     def plan_for(self, n: int, p: int, m: int) -> MatMulPlan:
         key = (int(n), int(p), int(m))
         plan = self._plans.get(key)
         if plan is None:
+            self._misses += 1
+            counters.plan_builds += 1
             plan = MatMulPlan(
                 key[0], key[1], key[2], self._w,
                 verify_structure=self._verify_structure,
@@ -699,7 +739,9 @@ class CachedMatMul:
             self._plans[key] = plan
             while len(self._plans) > self.MAX_PLANS:
                 self._plans.popitem(last=False)
+                self._evictions += 1
         else:
+            self._hits += 1
             self._plans.move_to_end(key)
         return plan
 

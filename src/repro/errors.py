@@ -65,6 +65,28 @@ class BackendError(ReproError, ValueError):
     from the vectorized engine)."""
 
 
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solve diverged (or hit a numerical breakdown).
+
+    Raised by the :mod:`repro.iterative` solvers when the residual stops
+    being finite, grows past the :class:`~repro.iterative.criteria.ConvergenceCriteria`
+    divergence guard, or a method-specific invariant breaks (e.g. a
+    non-positive curvature direction in conjugate gradient).  Exhausting
+    ``max_iter`` without converging is *not* an error — the result simply
+    reports ``converged=False``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        iterations: int = 0,
+        residual_norm: float = float("nan"),
+    ):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual_norm = residual_norm
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by the :mod:`repro.service` layer."""
 

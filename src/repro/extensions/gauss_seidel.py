@@ -1,38 +1,35 @@
-"""Gauss-Seidel iteration driven by the DBT matrix-vector pipeline.
+"""Gauss-Seidel iteration — now a deprecation shim over :mod:`repro.iterative`.
 
-Section 4 lists the Gauss-Seidel iterative method among the problems the
-authors solved with the same methodology (report /8/, unavailable).  The
-splitting form of the iteration is
+The original extension implemented the splitting
 
     ``(D + L) x_{k+1} = b - U x_k``
 
-where ``D + L`` is the lower triangular part of ``A`` (diagonal included)
-and ``U`` its strictly upper part.  Each sweep therefore consists of one
-dense matrix-vector product — executed on the linear systolic array via
-:class:`~repro.core.matvec.SizeIndependentMatVec` — followed by a
-triangular solve handled by
-:class:`~repro.extensions.triangular.SystolicTriangularSolver`.
+directly.  That implementation moved into the plan-cached iterative
+subsystem as :class:`~repro.iterative.sor.SORSolver` with ``omega = 1``
+(SOR *is* weighted Gauss-Seidel, and the ``omega == 1`` code path runs
+the exact legacy arithmetic, bit for bit).  This module keeps the public
+seed API — :class:`SystolicGaussSeidel` and :class:`GaussSeidelResult` —
+as a thin shim so existing callers and tests keep working; new code
+should use ``Solver.solve("sor", ...)`` or
+:class:`~repro.iterative.sor.SORSolver` directly.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
-from ..errors import ShapeError
-from ..matrices.dense import as_matrix, as_vector
-from ..matrices.padding import validate_array_size
 from ..core.plans import CachedMatVec
-from .triangular import SystolicTriangularSolver
 
 __all__ = ["GaussSeidelResult", "SystolicGaussSeidel"]
 
 
 @dataclass
 class GaussSeidelResult:
-    """Outcome of a Gauss-Seidel run."""
+    """Outcome of a Gauss-Seidel run (legacy result shape)."""
 
     x: np.ndarray
     iterations: int
@@ -47,7 +44,7 @@ class GaussSeidelResult:
 
 
 class SystolicGaussSeidel:
-    """Gauss-Seidel solver whose products run on the linear systolic array."""
+    """Deprecated shim: SOR with ``omega = 1`` behind the seed's API."""
 
     def __init__(
         self,
@@ -57,23 +54,40 @@ class SystolicGaussSeidel:
         matvec: Optional[CachedMatVec] = None,
         backend: str = "auto",
     ):
-        self._w = validate_array_size(w)
+        warnings.warn(
+            "SystolicGaussSeidel is deprecated; use "
+            "repro.iterative.SORSolver (omega=1) or Solver.solve('sor', ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if tolerance <= 0:
             raise ValueError(f"tolerance must be > 0, got {tolerance}")
         if max_iterations < 1:
             raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
-        self._tolerance = tolerance
-        self._max_iterations = max_iterations
-        # One shared engine: the sweep's dense product and the triangular
-        # solver's block products reuse the same per-shape plans.
-        self._matvec = (
-            matvec if matvec is not None else CachedMatVec(self._w, backend=backend)
+        # Imported lazily: repro.iterative.sor itself imports the
+        # extensions package (for the triangular pipeline), so a
+        # module-level import here would be circular.
+        from ..iterative.criteria import ConvergenceCriteria
+        from ..iterative.sor import SORSolver
+
+        self._solver = SORSolver(
+            w,
+            omega=1.0,
+            criteria=ConvergenceCriteria(
+                atol=tolerance,
+                rtol=0.0,
+                max_iter=max_iterations,
+                # The legacy solver had no divergence guard: it ran to the
+                # iteration cap and reported converged=False.
+                divergence_ratio=float("inf"),
+            ),
+            backend=backend,
+            matvec=matvec,
         )
-        self._triangular = SystolicTriangularSolver(self._w, matvec=self._matvec)
 
     @property
     def w(self) -> int:
-        return self._w
+        return self._solver.w
 
     def solve(
         self,
@@ -82,53 +96,12 @@ class SystolicGaussSeidel:
         x0: Optional[np.ndarray] = None,
     ) -> GaussSeidelResult:
         """Iterate ``(D + L) x_{k+1} = b - U x_k`` until the residual converges."""
-        matrix = as_matrix(matrix, "matrix")
-        b = as_vector(b, "b")
-        n = matrix.shape[0]
-        if matrix.shape[0] != matrix.shape[1]:
-            raise ShapeError(f"Gauss-Seidel needs a square matrix, got {matrix.shape}")
-        if b.shape[0] != n:
-            raise ShapeError(f"b has length {b.shape[0]}, expected {n}")
-        if np.any(np.abs(np.diag(matrix)) < 1e-300):
-            raise ShapeError("Gauss-Seidel needs nonzero diagonal entries")
-
-        strict_upper = np.triu(matrix, k=1)
-        lower_with_diag = np.tril(matrix)
-        x = np.zeros(n, dtype=float) if x0 is None else as_vector(x0, "x0").copy()
-        if x.shape[0] != n:
-            raise ShapeError(f"x0 has length {x.shape[0]}, expected {n}")
-
-        matvec = self._matvec
-        triangular = self._triangular
-        history: List[float] = []
-        array_steps = 0
-        converged = False
-        iterations = 0
-
-        for iteration in range(1, self._max_iterations + 1):
-            iterations = iteration
-            # rhs = b - U x_k, with the product on the array.  A matrix of
-            # zeros (n == 1, say) still goes through the array so that the
-            # measured step counts stay comparable across problem sizes.
-            product = matvec.solve(strict_upper, x)
-            array_steps += product.measured_steps
-            rhs = b - product.y
-
-            solve = triangular.solve_lower(lower_with_diag, rhs)
-            array_steps += solve.array_steps
-            x = solve.x
-
-            residual = float(np.linalg.norm(matrix @ x - b))
-            history.append(residual)
-            if residual <= self._tolerance:
-                converged = True
-                break
-
+        result = self._solver.solve(matrix, b, x0)
         return GaussSeidelResult(
-            x=x,
-            iterations=iterations,
-            converged=converged,
-            residual_norm=history[-1] if history else float("inf"),
-            residual_history=history,
-            array_steps=array_steps,
+            x=result.x,
+            iterations=result.iterations,
+            converged=result.converged,
+            residual_norm=result.residual_norm,
+            residual_history=result.residual_history,
+            array_steps=result.array_steps,
         )

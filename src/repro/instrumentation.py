@@ -25,7 +25,44 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Counters", "counters", "transform_constructions"]
+__all__ = ["CacheStats", "Counters", "counters", "transform_constructions"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting of one plan cache.
+
+    Shared accounting currency across layers: the api layer's
+    :class:`~repro.api.plan.PlanCache`, the per-shape engine caches of
+    :class:`~repro.core.plans.CachedMatVec` / ``CachedMatMul``, and the
+    aggregated warm-reuse proof carried by
+    :class:`~repro.iterative.result.IterativeResult`.  Lives here (rather
+    than in :mod:`repro.api`) so the core and iterative layers can report
+    cache accounting without importing the façade.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Fleet-wide accounting: sum counters across caches (e.g. shards)."""
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            size=self.size + other.size,
+            maxsize=self.maxsize + other.maxsize,
+        )
 
 
 @dataclass
@@ -42,7 +79,9 @@ class Counters:
     multithreaded service shard pool).  ``service_requests`` /
     ``service_batches`` are bumped by the :mod:`repro.service` layer,
     serialized on one shared lock across all shards, so they stay exact
-    even though the service is multithreaded.
+    even though the service is multithreaded.  ``iterative_sweeps`` counts
+    the sweeps executed by the :mod:`repro.iterative` solvers (lock-free,
+    same caveat as ``plan_builds``).
     """
 
     transform_constructions: int = 0
@@ -50,6 +89,7 @@ class Counters:
     plan_executions: int = 0
     service_requests: int = 0
     service_batches: int = 0
+    iterative_sweeps: int = 0
 
     def snapshot(self) -> "Counters":
         """An independent copy for before/after diffing."""
@@ -59,6 +99,7 @@ class Counters:
             plan_executions=self.plan_executions,
             service_requests=self.service_requests,
             service_batches=self.service_batches,
+            iterative_sweeps=self.iterative_sweeps,
         )
 
     def delta(self, earlier: "Counters") -> "Counters":
@@ -70,6 +111,7 @@ class Counters:
             plan_executions=self.plan_executions - earlier.plan_executions,
             service_requests=self.service_requests - earlier.service_requests,
             service_batches=self.service_batches - earlier.service_batches,
+            iterative_sweeps=self.iterative_sweeps - earlier.iterative_sweeps,
         )
 
 

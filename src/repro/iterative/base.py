@@ -1,0 +1,167 @@
+"""Shared machinery of the plan-cached iterative solvers.
+
+Every solver in this subpackage follows the same contract:
+
+* the heavy per-sweep product(s) run on the systolic array through the
+  shared per-shape engines of :mod:`repro.core.plans` (and, for the
+  splitting methods, the blocked pipelines of :mod:`repro.extensions`),
+  so sweep k >= 2 is a pure warm plan execution — zero transform or plan
+  construction;
+* the convergence bookkeeping (residual norms, stopping rule,
+  divergence guard) runs on the host — Jacobi, CG, refinement and power
+  recover their residuals in O(n) from the sweep's own array product,
+  while SOR keeps the legacy Gauss-Seidel dense residual check so the
+  deprecation shim stays bit-identical to the seed;
+* the loop accounting (sweep counter bumps, the cold/warm plan-build
+  split measured off :data:`repro.instrumentation.counters`) is handled
+  here, once, by :meth:`PlanCachedIterativeSolver._iterate`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConvergenceError, ShapeError
+from ..instrumentation import CacheStats, counters
+from ..matrices.dense import as_matrix, as_vector
+from ..matrices.padding import validate_array_size
+from .criteria import ConvergenceCriteria
+
+__all__ = ["PlanCachedIterativeSolver", "SweepOutcome"]
+
+#: ``(iterations, converged, residual_history, builds_first, builds_warm)``.
+SweepOutcome = Tuple[int, bool, List[float], int, int]
+
+
+class PlanCachedIterativeSolver:
+    """Base class: array size, criteria, backend, and the sweep loop."""
+
+    #: Registry/display name of the method ("jacobi", "sor", ...).
+    method: str = ""
+
+    def __init__(
+        self,
+        w: int,
+        criteria: Optional[ConvergenceCriteria] = None,
+        backend: str = "auto",
+    ):
+        self._w = validate_array_size(w)
+        self._criteria = criteria if criteria is not None else ConvergenceCriteria()
+        self._backend = backend
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def w(self) -> int:
+        return self._w
+
+    @property
+    def criteria(self) -> ConvergenceCriteria:
+        return self._criteria
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    def _engines(self) -> Iterable[object]:
+        """The inner plan-cached engines (objects with a ``stats`` property)."""
+        return ()
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregated accounting of every inner per-shape plan cache.
+
+        Engine-lifetime totals: across the solves this engine has served,
+        one miss per distinct inner shape and hits for every reuse — the
+        warm-plan story the subsystem exists to tell.
+        """
+        total = CacheStats()
+        for engine in self._engines():
+            total = total + engine.stats  # type: ignore[attr-defined]
+        return total
+
+    def _engine_misses(self) -> int:
+        """Plan builds so far in *this solver's own* engines.
+
+        Used for the per-result cold/warm build split instead of the
+        process-global ``counters.plan_builds``: engine caches are
+        touched only by the thread running this solve, so the split
+        stays exact when other solvers build plans concurrently (the
+        sharded service).
+        """
+        return self.cache_stats().misses
+
+    # -- shared validation -------------------------------------------------------
+    def _validate_system(
+        self,
+        matrix: np.ndarray,
+        b: np.ndarray,
+        x0: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Check a square system ``A x = b`` and materialize the start vector."""
+        matrix = as_matrix(matrix, "matrix")
+        b = as_vector(b, "b")
+        n = matrix.shape[0]
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ShapeError(
+                f"{self.method} needs a square matrix, got {matrix.shape}"
+            )
+        if b.shape[0] != n:
+            raise ShapeError(f"b has length {b.shape[0]}, expected {n}")
+        x = np.zeros(n, dtype=float) if x0 is None else as_vector(x0, "x0").copy()
+        if x.shape[0] != n:
+            raise ShapeError(f"x0 has length {x.shape[0]}, expected {n}")
+        return matrix, b, x
+
+    @staticmethod
+    def _require_nonzero_diagonal(matrix: np.ndarray, method: str) -> np.ndarray:
+        diagonal = np.diag(matrix)
+        if np.any(np.abs(diagonal) < 1e-300):
+            raise ShapeError(f"{method} needs nonzero diagonal entries")
+        return diagonal
+
+    # -- the sweep loop ----------------------------------------------------------
+    def _iterate(
+        self,
+        sweep: Callable[[int], float],
+        reference: "float | Callable[[], float]",
+    ) -> SweepOutcome:
+        """Run ``sweep`` under the criteria, with plan-build accounting.
+
+        ``sweep(iteration)`` performs one full sweep (mutating the
+        caller's state) and returns the residual norm to judge.
+        ``reference`` scales the relative tolerance — usually ``||b||``;
+        a callable is re-evaluated every sweep (power iteration judges
+        against the moving ``|lambda_k|``).
+        """
+        criteria = self._criteria
+        history: List[float] = []
+        iterations = 0
+        converged = False
+        builds_start = self._engine_misses()
+        builds_after_first = builds_start
+        initial_residual: Optional[float] = None
+        for iteration in range(1, criteria.max_iter + 1):
+            iterations = iteration
+            residual = float(sweep(iteration))
+            counters.iterative_sweeps += 1
+            if iteration == 1:
+                builds_after_first = self._engine_misses()
+            history.append(residual)
+            if initial_residual is None:
+                initial_residual = residual
+            if criteria.diverged(residual, initial_residual):
+                raise ConvergenceError(
+                    f"{self.method} diverged at sweep {iteration}: residual "
+                    f"{residual:.6e} (started at {initial_residual:.6e}, "
+                    f"guard ratio {criteria.divergence_ratio:g})",
+                    iterations=iteration,
+                    residual_norm=residual,
+                )
+            scale = reference() if callable(reference) else reference
+            if criteria.converged(residual, scale):
+                converged = True
+                break
+        builds_first = builds_after_first - builds_start
+        builds_warm = self._engine_misses() - builds_after_first
+        return iterations, converged, history, builds_first, builds_warm

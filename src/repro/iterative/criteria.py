@@ -1,0 +1,79 @@
+"""Convergence control for the plan-cached iterative solvers.
+
+One frozen — therefore hashable, therefore plan-key-able —
+:class:`ConvergenceCriteria` gathers every stopping knob the
+:mod:`repro.iterative` solvers share: absolute and relative residual
+tolerances, the iteration cap, and a divergence guard.  It rides inside
+:class:`~repro.api.config.ExecutionOptions`, so two solves with different
+criteria compile to (and cache under) different plans, exactly like any
+other execution option.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["ConvergenceCriteria"]
+
+
+@dataclass(frozen=True)
+class ConvergenceCriteria:
+    """When an iterative solve stops — and when it must not continue.
+
+    ``atol`` / ``rtol``
+        The iteration converges once the residual norm drops to
+        ``atol + rtol * reference`` where the reference is the norm of
+        the right-hand side (or the initial residual, for eigenproblems).
+        At least one of the two must be positive.
+    ``max_iter``
+        Hard sweep cap.  Exhausting it is *not* an error: the result
+        reports ``converged=False`` and carries the full history.
+    ``divergence_ratio``
+        Guard against runaway iterations: if the residual exceeds
+        ``divergence_ratio * max(initial_residual, 1)`` — or stops being
+        finite — the solver raises
+        :class:`~repro.errors.ConvergenceError` instead of burning the
+        remaining sweeps.  ``float("inf")`` disables the guard entirely
+        (the legacy Gauss-Seidel behaviour: even a non-finite residual
+        just keeps failing the convergence test until ``max_iter``).
+    """
+
+    atol: float = 1e-10
+    rtol: float = 0.0
+    max_iter: int = 200
+    divergence_ratio: float = 1e8
+
+    def __post_init__(self) -> None:
+        if self.atol < 0.0 or self.rtol < 0.0:
+            raise ValueError(
+                f"tolerances must be >= 0, got atol={self.atol}, rtol={self.rtol}"
+            )
+        if self.atol == 0.0 and self.rtol == 0.0:
+            raise ValueError("at least one of atol/rtol must be > 0")
+        if self.max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {self.max_iter}")
+        if not self.divergence_ratio > 1.0:
+            raise ValueError(
+                f"divergence_ratio must be > 1, got {self.divergence_ratio}"
+            )
+
+    def tolerance(self, reference: float) -> float:
+        """The absolute residual threshold for a given reference norm."""
+        return self.atol + self.rtol * reference
+
+    def converged(self, residual: float, reference: float) -> bool:
+        """Whether ``residual`` satisfies the stopping rule."""
+        return residual <= self.tolerance(reference)
+
+    def diverged(self, residual: float, initial_residual: float) -> bool:
+        """Whether the divergence guard trips for ``residual``."""
+        if math.isinf(self.divergence_ratio):
+            return False
+        if not math.isfinite(residual):
+            return True
+        return residual > self.divergence_ratio * max(initial_residual, 1.0)
+
+    def merged(self, **overrides: object) -> "ConvergenceCriteria":
+        """A copy with the given fields replaced (unknown names raise)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]

@@ -27,6 +27,12 @@ Pieces, front to back:
   depths, the batch-size histogram, p50/p95 latency, and plan-cache hit
   rates aggregated across shards.
 
+Multi-iteration requests (the :mod:`repro.iterative` kinds — jacobi,
+sor, cg, refine, power) flow through the same pipeline: a whole k-sweep
+job executes on its plan key's home shard, where the compiled solver
+engine and its inner per-shape plans stay hot across jobs, and the
+telemetry accounts the per-kind sweep totals (``iterations_by_kind``).
+
 See ``examples/serving_demo.py`` for an end-to-end tour and
 ``benchmarks/test_service_throughput.py`` for the throughput claim this
 layer exists to win.

@@ -1,9 +1,10 @@
 """Service observability: per-shard accounting and fleet-wide snapshots.
 
 Each shard worker owns a :class:`ShardTelemetry` — a lock-guarded bundle
-of counters (per-kind request counts, completions, failures, rejections,
-deadline expiries), a batch-size histogram, a high-water queue depth, and
-a bounded reservoir of recent request latencies.  ``SolverService.stats()``
+of counters (per-kind request counts, per-kind iterative sweep totals,
+completions, failures, rejections, deadline expiries), a batch-size
+histogram, a high-water queue depth, and a bounded reservoir of recent
+request latencies.  ``SolverService.stats()``
 snapshots every shard and folds them into one :class:`ServiceStats`:
 aggregate counts, the merged batch histogram, p50/p95 latency over the
 pooled reservoirs, and plan-cache hit rates summed across shards (via
@@ -65,6 +66,9 @@ class ShardStats:
     latency_p95: Optional[float]
     cache: CacheStats
     latency_sample: Tuple[float, ...] = field(repr=False, default=())
+    #: Total iterative sweeps executed per kind (jacobi/sor/cg/refine/
+    #: power/gauss_seidel); empty for shards that served only direct kinds.
+    iterations_by_kind: Mapping[str, int] = field(default_factory=dict)
 
 
 class ShardTelemetry:
@@ -87,6 +91,7 @@ class ShardTelemetry:
         self._batches = 0
         self._by_kind: "Counter[str]" = Counter()
         self._batch_sizes: "Counter[int]" = Counter()
+        self._iterations_by_kind: "Counter[str]" = Counter()
         self._max_queue_depth = 0
         self._latencies: Deque[float] = deque(maxlen=LATENCY_RESERVOIR_SIZE)
 
@@ -121,6 +126,16 @@ class ShardTelemetry:
             self._completed += 1
             self._latencies.append(latency)
 
+    def record_iterations(self, kind: str, iterations: int) -> None:
+        """Account the sweeps of one completed multi-iteration solve.
+
+        The shard worker calls this for every solution that reports an
+        ``iterations`` stat, so the fleet snapshot can show how much
+        iterative work each kind pushed through the warm plan caches.
+        """
+        with self._lock:
+            self._iterations_by_kind[kind] += int(iterations)
+
     def record_failed(self, latency: float) -> None:
         with self._lock:
             self._failed += 1
@@ -151,6 +166,7 @@ class ShardTelemetry:
                 latency_p95=percentile(sample, 0.95),
                 cache=cache,
                 latency_sample=sample,
+                iterations_by_kind=dict(self._iterations_by_kind),
             )
 
 
@@ -174,16 +190,19 @@ class ServiceStats:
     latency_p95: Optional[float]
     cache: CacheStats
     shards: Tuple[ShardStats, ...]
+    iterations_by_kind: Mapping[str, int] = field(default_factory=dict)
 
     @classmethod
     def aggregate(cls, shards: Sequence[ShardStats]) -> "ServiceStats":
         by_kind: "Counter[str]" = Counter()
         histogram: "Counter[int]" = Counter()
+        iterations: "Counter[str]" = Counter()
         pooled: List[float] = []
         cache = CacheStats()
         for shard in shards:
             by_kind.update(shard.requests_by_kind)
             histogram.update(shard.batch_size_histogram)
+            iterations.update(shard.iterations_by_kind)
             pooled.extend(shard.latency_sample)
             cache = cache + shard.cache
         return cls(
@@ -203,6 +222,7 @@ class ServiceStats:
             latency_p95=percentile(pooled, 0.95),
             cache=cache,
             shards=tuple(shards),
+            iterations_by_kind=dict(iterations),
         )
 
     @property
@@ -247,6 +267,12 @@ class ServiceStats:
                 for kind, count in sorted(self.requests_by_kind.items())
             )
             lines.insert(2, f"  by kind:     {by_kind}")
+        if self.iterations_by_kind:
+            sweeps = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.iterations_by_kind.items())
+            )
+            lines.append(f"  iterations:  {sweeps} (sweeps on warm plans)")
         if self.batch_size_histogram:
             histogram = ", ".join(
                 f"{size}x{count}"

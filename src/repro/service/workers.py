@@ -148,9 +148,16 @@ class ShardWorker:
                 # so set_result is infallible — and the caller it wakes
                 # may read stats() immediately.
                 self.telemetry.record_completed(request.latency())
+                self._record_iterations(request.kind, solution)
                 request.future.set_result(solution)
             return
         self._execute_one(live[0], options)
+
+    def _record_iterations(self, kind: str, solution) -> None:
+        """Account multi-iteration solves (jacobi, sor, cg, ...) per kind."""
+        iterations = solution.stats.get("iterations")
+        if isinstance(iterations, int) and iterations > 0:
+            self.telemetry.record_iterations(kind, iterations)
 
     def _execute_one(self, request: SolveRequest, options) -> None:
         """Solve one (RUNNING) request, resolving its future either way.
@@ -167,4 +174,5 @@ class ShardWorker:
             request.fail(exc)
             return
         self.telemetry.record_completed(request.latency())
+        self._record_iterations(request.kind, solution)
         request.future.set_result(solution)

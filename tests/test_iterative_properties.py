@@ -1,0 +1,197 @@
+"""Property-based verification harness for the iterative subsystem.
+
+Seeded grids over (shape, w, omega, seed) assert the three properties the
+subsystem promises:
+
+(a) for SPD diagonally dominant systems, the Jacobi and CG residual
+    histories are monotone non-increasing;
+(b) every converged solution matches ``numpy.linalg.solve`` within the
+    criteria tolerance (and power iteration matches ``numpy.linalg.eigh``);
+(c) the ``simulate`` and ``vectorized`` backends are bit-identical *per
+    sweep*: same residual history float for float, same solution bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iterative import (
+    ConjugateGradientSolver,
+    ConvergenceCriteria,
+    IterativeRefinementSolver,
+    JacobiSolver,
+    PowerIterationSolver,
+    SORSolver,
+)
+
+#: (n, w, seed) grid shared by the value/property sweeps.
+GRID = [
+    (5, 3, 11),
+    (8, 3, 23),
+    (9, 4, 37),
+    (12, 4, 51),
+]
+
+#: Smaller grid for the cycle-accurate simulator comparisons (slow backend).
+BACKEND_GRID = [(5, 3, 7), (6, 3, 19)]
+
+OMEGAS = [0.8, 1.0, 1.3]
+
+
+def make_system(n: int, seed: int):
+    """A seeded SPD, strictly diagonally dominant system ``A x = b``."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    matrix = (a + a.T) / 2.0
+    matrix += (np.abs(matrix).sum(axis=1).max() + 1.0) * np.eye(n)
+    return matrix, rng.normal(size=n)
+
+
+def assert_monotone(history, slack: float = 1e-12) -> None:
+    for earlier, later in zip(history, history[1:]):
+        assert later <= earlier * (1.0 + slack), (
+            f"residual rose from {earlier:.3e} to {later:.3e} in {history}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# (a) monotone residual histories on SPD systems
+# --------------------------------------------------------------------------- #
+class TestMonotoneResiduals:
+    @pytest.mark.parametrize("n,w,seed", GRID)
+    def test_jacobi_history_is_monotone_non_increasing(self, n, w, seed):
+        matrix, b = make_system(n, seed)
+        result = JacobiSolver(w).solve(matrix, b)
+        assert result.converged
+        assert len(result.residual_history) == result.iterations
+        assert_monotone(result.residual_history)
+
+    @pytest.mark.parametrize("n,w,seed", GRID)
+    def test_cg_history_is_monotone_non_increasing(self, n, w, seed):
+        matrix, b = make_system(n, seed)
+        result = ConjugateGradientSolver(w).solve(matrix, b)
+        assert result.converged
+        assert_monotone(result.residual_history)
+
+
+# --------------------------------------------------------------------------- #
+# (b) converged solutions match the direct solver
+# --------------------------------------------------------------------------- #
+class TestMatchesDirectSolve:
+    @pytest.mark.parametrize("n,w,seed", GRID)
+    def test_jacobi_matches_numpy(self, n, w, seed):
+        matrix, b = make_system(n, seed)
+        result = JacobiSolver(w).solve(matrix, b)
+        assert result.converged
+        assert np.allclose(result.x, np.linalg.solve(matrix, b), atol=1e-8)
+
+    @pytest.mark.parametrize("n,w,seed", GRID)
+    @pytest.mark.parametrize("omega", OMEGAS)
+    def test_sor_matches_numpy_across_omegas(self, n, w, seed, omega):
+        matrix, b = make_system(n, seed)
+        result = SORSolver(w, omega=omega).solve(matrix, b)
+        assert result.converged
+        assert np.allclose(result.x, np.linalg.solve(matrix, b), atol=1e-8)
+
+    @pytest.mark.parametrize("n,w,seed", GRID)
+    def test_cg_matches_numpy(self, n, w, seed):
+        matrix, b = make_system(n, seed)
+        result = ConjugateGradientSolver(w).solve(matrix, b)
+        assert result.converged
+        assert np.allclose(result.x, np.linalg.solve(matrix, b), atol=1e-8)
+
+    @pytest.mark.parametrize("n,w,seed", GRID)
+    def test_refinement_matches_numpy(self, n, w, seed):
+        matrix, b = make_system(n, seed)
+        result = IterativeRefinementSolver(w).solve(matrix, b)
+        assert result.converged
+        assert np.allclose(result.x, np.linalg.solve(matrix, b), atol=1e-9)
+
+    @pytest.mark.parametrize("n,w,seed", GRID)
+    def test_power_matches_numpy_dominant_eigenpair(self, n, w, seed):
+        matrix, _ = make_system(n, seed)
+        criteria = ConvergenceCriteria(atol=1e-9, rtol=1e-9, max_iter=5000)
+        result = PowerIterationSolver(w, criteria=criteria).solve(matrix)
+        assert result.converged
+        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+        dominant_index = int(np.argmax(np.abs(eigenvalues)))
+        assert result.eigenvalue == pytest.approx(
+            eigenvalues[dominant_index], rel=1e-6
+        )
+        overlap = abs(float(result.x @ eigenvectors[:, dominant_index]))
+        assert overlap == pytest.approx(1.0, abs=1e-5)
+
+
+# --------------------------------------------------------------------------- #
+# (c) simulate and vectorized backends are bit-identical per sweep
+# --------------------------------------------------------------------------- #
+class TestBackendBitIdentity:
+    #: Bound the sweep count so the cycle-accurate simulator stays fast.
+    CRITERIA = ConvergenceCriteria(atol=1e-280, max_iter=4)
+
+    def both_backends(self, solver_factory, *operands):
+        results = {
+            backend: solver_factory(backend).solve(*operands)
+            for backend in ("simulate", "vectorized")
+        }
+        simulate, vectorized = results["simulate"], results["vectorized"]
+        assert simulate.iterations == vectorized.iterations
+        # Per-sweep equality: the histories must agree float for float.
+        assert simulate.residual_history == vectorized.residual_history
+        assert np.array_equal(simulate.x, vectorized.x)
+        return simulate, vectorized
+
+    @pytest.mark.parametrize("n,w,seed", BACKEND_GRID)
+    def test_jacobi_backends_agree(self, n, w, seed):
+        matrix, b = make_system(n, seed)
+        self.both_backends(
+            lambda backend: JacobiSolver(w, criteria=self.CRITERIA, backend=backend),
+            matrix,
+            b,
+        )
+
+    @pytest.mark.parametrize("n,w,seed", BACKEND_GRID)
+    @pytest.mark.parametrize("omega", [1.0, 1.3])
+    def test_sor_backends_agree(self, n, w, seed, omega):
+        matrix, b = make_system(n, seed)
+        self.both_backends(
+            lambda backend: SORSolver(
+                w, omega=omega, criteria=self.CRITERIA, backend=backend
+            ),
+            matrix,
+            b,
+        )
+
+    @pytest.mark.parametrize("n,w,seed", BACKEND_GRID)
+    def test_cg_backends_agree(self, n, w, seed):
+        matrix, b = make_system(n, seed)
+        self.both_backends(
+            lambda backend: ConjugateGradientSolver(
+                w, criteria=self.CRITERIA, backend=backend
+            ),
+            matrix,
+            b,
+        )
+
+    @pytest.mark.parametrize("n,w,seed", BACKEND_GRID)
+    def test_refinement_backends_agree(self, n, w, seed):
+        matrix, b = make_system(n, seed)
+        self.both_backends(
+            lambda backend: IterativeRefinementSolver(
+                w, criteria=self.CRITERIA, backend=backend
+            ),
+            matrix,
+            b,
+        )
+
+    @pytest.mark.parametrize("n,w,seed", BACKEND_GRID)
+    def test_power_backends_agree(self, n, w, seed):
+        matrix, _ = make_system(n, seed)
+        simulate, vectorized = self.both_backends(
+            lambda backend: PowerIterationSolver(
+                w, criteria=self.CRITERIA, backend=backend
+            ),
+            matrix,
+        )
+        assert simulate.eigenvalue == vectorized.eigenvalue
