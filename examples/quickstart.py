@@ -10,6 +10,13 @@ whose dimensions have nothing to do with the array size:
 all through one :class:`repro.Solver`, with the plan cache turning the
 second same-shape solve into a values-only execution.
 
+Requests are typed problem objects (``solver.solve(MatVec(a, x, b))``).
+The string spelling ``solver.solve("matvec", a, x, b)`` used below for
+the later sections keeps working — it is a thin shim that builds the
+equivalent typed problem, with bit-identical results and plan keys — and
+multi-stage workloads compose typed problems into pipeline graphs (see
+``examples/pipeline_demo.py``).
+
 Run with:  python examples/quickstart.py
 """
 
@@ -17,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ArraySpec, Solver
+from repro import ArraySpec, MatMul, MatVec, Solver
 
 
 def main() -> None:
@@ -32,7 +39,7 @@ def main() -> None:
     x = rng.normal(size=7)
     b = rng.normal(size=10)
 
-    solution = solver.solve("matvec", a, x, b)
+    solution = solver.solve(MatVec(a, x, b))
     assert np.allclose(solution.values, a @ x + b)
     print(solution.summary())
     print(f"  max |error| vs NumPy: {np.max(np.abs(solution.values - (a @ x + b))):.2e}")
@@ -64,7 +71,7 @@ def main() -> None:
     b2 = rng.normal(size=(9, 5))
     e2 = rng.normal(size=(6, 5))
 
-    product = solver.solve("matmul", a2, b2, e2)
+    product = solver.solve(MatMul(a2, b2, e2))
     assert np.allclose(product.values, a2 @ b2 + e2)
     print(product.summary())
     print(f"  max |error| vs NumPy: {np.max(np.abs(product.values - (a2 @ b2 + e2))):.2e}")

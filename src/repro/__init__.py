@@ -14,20 +14,30 @@ systolic arrays (``repro.systolic``), the matrix infrastructure they share
 (``repro.extensions``), and figure/report regeneration helpers
 (``repro.analysis``).
 
-Quickstart (the unified plan/execute façade, ``repro.api``)::
+Quickstart (typed problems through the plan/execute façade)::
 
     import numpy as np
-    from repro import ArraySpec, Solver
+    from repro import ArraySpec, MatVec, Solver
 
     solver = Solver(ArraySpec(w=4))
     A = np.random.default_rng(0).normal(size=(10, 7))
     x = np.random.default_rng(1).normal(size=7)
-    solution = solver.solve("matvec", A, x)
+    solution = solver.solve(MatVec(A, x))
     assert np.allclose(solution.values, A @ x)
     print(solution.summary())
 
-The one-class-per-problem entry points (``SizeIndependentMatVec``,
-``SizeIndependentMatMul``) remain available as deprecation shims.
+Multi-stage workloads compose typed problems into pipeline graphs
+(``repro.graph``) that compile once and execute as a whole::
+
+    from repro import Graph, GraphCompiler, MatMul
+
+    y = MatMul(A2, B2) @ x2                     # lazy DAG via operator sugar
+    result = GraphCompiler(solver).run(Graph(y))
+
+The string spelling ``solver.solve("matvec", A, x)`` remains a supported
+shim over the typed problems, and the one-class-per-problem entry points
+(``SizeIndependentMatVec``, ``SizeIndependentMatMul``) remain available
+as deprecation shims.
 """
 
 from .api import (
@@ -59,6 +69,8 @@ from .errors import (
     ConvergenceError,
     DeadlineExceededError,
     FeedbackError,
+    GraphCycleError,
+    GraphError,
     RecoveryError,
     ReproError,
     ScheduleError,
@@ -68,6 +80,25 @@ from .errors import (
     ShapeError,
     SimulationError,
     TransformError,
+)
+from .graph import (
+    CG,
+    LU,
+    Graph,
+    GraphCompiler,
+    Jacobi,
+    MatMul,
+    MatVec,
+    PipelineProgram,
+    PipelineResult,
+    Power,
+    Problem,
+    Ref,
+    Refine,
+    SOR,
+    Sparse,
+    Triangular,
+    problem_types,
 )
 from .iterative import ConvergenceCriteria, IterativeResult
 from .matrices.banded import BandMatrix
@@ -86,6 +117,7 @@ __all__ = [
     "BandMatrix",
     "BandwidthError",
     "BlockGrid",
+    "CG",
     "ConvergenceCriteria",
     "ConvergenceError",
     "DBTByRowsTransform",
@@ -94,18 +126,33 @@ __all__ = [
     "ExecutionOptions",
     "ExecutionPlan",
     "FeedbackError",
+    "Graph",
+    "GraphCompiler",
+    "GraphCycleError",
+    "GraphError",
     "HexagonalArray",
     "IterativeResult",
+    "Jacobi",
+    "LU",
     "LinearContraflowArray",
     "LinearProblem",
+    "MatMul",
     "MatMulModel",
     "MatMulOperands",
     "MatMulSolution",
+    "MatVec",
     "MatVecModel",
     "MatVecSolution",
     "PartialResultMap",
+    "PipelineProgram",
+    "PipelineResult",
+    "Power",
+    "Problem",
     "RecoveryError",
+    "Ref",
+    "Refine",
     "ReproError",
+    "SOR",
     "ScheduleError",
     "ServiceClosedError",
     "ServiceError",
@@ -119,8 +166,10 @@ __all__ = [
     "Solution",
     "Solver",
     "SolverService",
+    "Sparse",
     "SpiralFeedbackTopology",
     "TransformError",
+    "Triangular",
     "__version__",
     "available_backends",
     "dbt_by_rows",
@@ -129,5 +178,6 @@ __all__ = [
     "matmul_utilization",
     "matvec_steps",
     "matvec_utilization",
+    "problem_types",
     "resolve_backend",
 ]

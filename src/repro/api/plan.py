@@ -22,10 +22,23 @@ from typing import Any, Optional, Tuple
 from ..instrumentation import CacheStats
 from .config import ArraySpec, ExecutionOptions
 
-__all__ = ["ExecutionPlan", "CacheStats", "PlanCache", "PlanKey"]
+__all__ = ["ExecutionPlan", "CacheStats", "PlanCache", "PlanKey", "make_plan_key"]
 
 #: A plan cache key: (kind, shapes, w, options).
 PlanKey = Tuple[str, Tuple, int, ExecutionOptions]
+
+
+def make_plan_key(
+    kind: str, shapes: Tuple, w: int, options: ExecutionOptions
+) -> PlanKey:
+    """The one assembly point for plan cache / service routing keys.
+
+    Everything that derives a key — ``Solver`` (string and typed paths),
+    ``Problem.plan_key``, ``Graph.plan_keys`` — goes through here, so the
+    field set can never silently diverge between the key a request routes
+    by and the key its home shard caches under.
+    """
+    return (kind, shapes, int(w), options)
 
 
 class ExecutionPlan:
@@ -79,8 +92,24 @@ class ExecutionPlan:
         return self._executor
 
     @property
+    def handler(self) -> Any:
+        """The :class:`~repro.api.registry.ProblemHandler` behind the plan."""
+        return self._handler
+
+    @property
+    def supports_pairing(self) -> bool:
+        """Whether two independent executions can share one array run.
+
+        True only for the plain matvec plan: ``solve_batch`` and the graph
+        compiler route pairs of same-plan stages through
+        :meth:`execute_pair` so the second problem rides the idle
+        contraflow cycles of the first.
+        """
+        return bool(getattr(self._executor, "supports_pairing", False))
+
+    @property
     def key(self) -> PlanKey:
-        return (self._kind, self._shapes, self._spec.w, self._options)
+        return make_plan_key(self._kind, self._shapes, self._spec.w, self._options)
 
     def execute(self, *operands, **kwargs):
         """Stream one operand set through the plan; returns a Solution."""
@@ -88,6 +117,40 @@ class ExecutionPlan:
 
         counters.plan_executions += 1
         return self._handler.execute(self, *operands, **kwargs)
+
+    def execute_problem(self, problem):
+        """Stream one *typed* problem through the plan; returns a Solution.
+
+        The typed-problem counterpart of :meth:`execute`: the handler
+        consumes the problem object directly instead of re-parsing
+        positional operands and kwargs.
+        """
+        from ..instrumentation import counters
+
+        counters.plan_executions += 1
+        return self._handler.execute_problem(self, problem)
+
+    def execute_pair(self, first: Tuple, second: Tuple):
+        """Run two independent same-plan problems on one shared array run.
+
+        Only valid when :attr:`supports_pairing` is true.  Returns the two
+        wrapped :class:`~repro.api.solution.Solution` objects, marked
+        ``stats["paired"]`` and with the paper's single-problem step and
+        utilization predictions dropped (the closed forms do not cover two
+        interleaved requests sharing one run).
+        """
+        from ..instrumentation import counters
+
+        counters.plan_executions += 2
+        legacy_a, legacy_b = self._executor.execute_pair(first, second)
+        solutions = []
+        for legacy in (legacy_a, legacy_b):
+            solution = self._handler.wrap(self, legacy)
+            solution.stats["paired"] = True
+            solution.predicted_steps = None
+            solution.predicted_utilization = None
+            solutions.append(solution)
+        return solutions[0], solutions[1]
 
     def describe(self) -> str:
         return (

@@ -10,6 +10,7 @@ handler, call :func:`register` — no façade changes.
 
 from __future__ import annotations
 
+import difflib
 from typing import Dict, Optional, Tuple
 
 from ..errors import ProblemKindError
@@ -50,6 +51,31 @@ class ProblemHandler:
     def execute(self, plan, *operands, **kwargs) -> Solution:
         raise NotImplementedError
 
+    def execute_problem(self, plan, problem) -> Solution:
+        """Stream one *typed* problem (:mod:`repro.graph`) through a plan.
+
+        The canonical execution entry since the typed-problem redesign:
+        the problem object carries its own operand tuple and execution
+        arguments (``lower=``, ``x0=``, ...), so nothing is re-parsed from
+        ``**kwargs``.  Handlers inherit this adapter; the legacy
+        positional :meth:`execute` remains the low-level primitive.
+        """
+        return self.execute(
+            plan, *problem.operand_values(), **problem.execute_kwargs()
+        )
+
+    @property
+    def problem_class(self) -> Optional[type]:
+        """The typed problem class for this kind (``None`` for baselines).
+
+        The stable ``kind -> problem class`` mapping lives in
+        :func:`repro.graph.problem_types`; this property is the per-handler
+        view of it.
+        """
+        from ..graph.problems import problem_types
+
+        return problem_types().get(self.kind)
+
 
 _REGISTRY: Dict[str, ProblemHandler] = {}
 
@@ -63,13 +89,22 @@ def register(handler: ProblemHandler) -> ProblemHandler:
 
 
 def get_handler(kind: str) -> ProblemHandler:
-    """The handler for ``kind``; raises :class:`ProblemKindError` if unknown."""
+    """The handler for ``kind``; raises :class:`ProblemKindError` if unknown.
+
+    Unknown kinds name the nearest registered kind (when one is close
+    enough) so a typo like ``"matvce"`` points straight at ``"matvec"``
+    instead of a bare KeyError.
+    """
     try:
         return _REGISTRY[kind]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
+        message = f"unknown problem kind {kind!r}"
+        close = difflib.get_close_matches(str(kind), list(_REGISTRY), n=1)
+        if close:
+            message += f"; did you mean {close[0]!r}?"
         raise ProblemKindError(
-            f"unknown problem kind {kind!r}; registered kinds: {known}"
+            f"{message} (registered kinds: {known})"
         ) from None
 
 

@@ -1,14 +1,25 @@
 """The unified solver façade: one front door for every problem kind.
 
 :class:`Solver` ties the pieces together — registry dispatch, the
-plan/execute split, and the LRU plan cache::
+plan/execute split, and the LRU plan cache.  Since the typed-problem
+redesign the canonical request representation is a typed problem object
+from :mod:`repro.graph`::
 
     from repro.api import ArraySpec, Solver
+    from repro.graph import MatVec
 
     solver = Solver(ArraySpec(w=4))
-    plan = solver.plan("matvec", shape=(10, 7))   # compile once
-    first = solver.solve("matvec", a, x, b)        # cache miss: builds plan
-    second = solver.solve("matvec", a2, x2, b2)    # cache hit: streams values
+    first = solver.solve(MatVec(a, x, b))          # cache miss: builds plan
+    second = solver.solve(MatVec(a2, x2, b2))      # cache hit: streams values
+
+The legacy string spelling — ``solver.solve("matvec", a, x, b)`` — keeps
+working as a thin shim that builds the equivalent single-node typed
+problem (kinds without a typed class, i.e. the comparison baselines and
+the ``gauss_seidel`` alias, dispatch directly); new code should prefer
+the typed form, and multi-stage workloads should compose problems into a
+:class:`~repro.graph.graph.Graph` and run them through
+:class:`~repro.graph.compiler.GraphCompiler` so stages fuse, pair, and
+reuse plans as a pipeline.
 
 ``solve_batch`` reuses one plan across a list of operand sets and, for the
 plain matrix-vector kind, automatically routes pairs of requests through
@@ -18,11 +29,12 @@ request carry the other.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple, Type
 
+from ..graph.problems import Problem, problem_types
 from ..instrumentation import counters
 from .config import ArraySpec, ExecutionOptions
-from .plan import ExecutionPlan, CacheStats, PlanCache, PlanKey
+from .plan import ExecutionPlan, CacheStats, PlanCache, PlanKey, make_plan_key
 from .registry import get_handler, registered_kinds
 from .solution import Solution
 
@@ -76,8 +88,22 @@ class Solver:
 
     @staticmethod
     def kinds() -> Tuple[str, ...]:
-        """All problem kinds the registry can dispatch."""
+        """All problem kinds the registry can dispatch.
+
+        The stable ``kind -> typed problem class`` mapping behind the
+        primary kinds is :meth:`problem_types`; kinds listed here but
+        absent there (the comparison baselines, the legacy
+        ``gauss_seidel`` alias) only speak the string form.
+        """
         return registered_kinds()
+
+    @staticmethod
+    def problem_types() -> Mapping[str, Type[Problem]]:
+        """Stable mapping of kind to its typed problem class.
+
+        Sorted by kind; see :func:`repro.graph.problem_types`.
+        """
+        return problem_types()
 
     # -- lifetime ---------------------------------------------------------------
     def reset(self) -> None:
@@ -98,7 +124,7 @@ class Solver:
     # -- the plan step ----------------------------------------------------------
     def plan_key(
         self,
-        kind: str,
+        kind: "str | Problem",
         *operands,
         shape=None,
         options: Optional[ExecutionOptions] = None,
@@ -109,15 +135,47 @@ class Solver:
         Computed without compiling anything: ``(kind, shapes, w, options)``.
         This is what :mod:`repro.service` hashes to route a request to a
         shard, so every same-shaped request lands on the same hot cache.
-        Pass either an operand set or an explicit ``shape=`` spec.
+        Pass a typed problem object, or a kind string with either an
+        operand set or an explicit ``shape=`` spec.
         """
+        if isinstance(kind, Problem):
+            problem = kind
+            problem.require_bare(operands, option_overrides, shape)
+            problem.concrete_operands()  # stage refs get the clear GraphError
+            base = options if options is not None else self._options
+            # One key-assembly path for typed problems: Problem.plan_key
+            # derives the identical (kind, shapes, w, options) tuple the
+            # string branch below computes from operands.
+            return problem.plan_key(self._spec.w, base)
         handler = get_handler(kind)
         opts = self._resolve_options(options, option_overrides)
         if operands:
             shapes = handler.shapes(operands=operands)
         else:
             shapes = handler.shapes(shape=shape)
-        return (handler.kind, shapes, self._spec.w, opts)
+        return make_plan_key(handler.kind, shapes, self._spec.w, opts)
+
+    def resolve_plan(
+        self,
+        kind: str,
+        *,
+        shape=None,
+        options: Optional[ExecutionOptions] = None,
+    ) -> Tuple[ExecutionPlan, bool]:
+        """Compile-or-fetch a plan for an explicit shape spec.
+
+        Returns ``(plan, from_cache)``.  This is the
+        :class:`~repro.graph.compiler.GraphCompiler` lowering entry:
+        pipeline stages resolve their plans here so shared stages
+        deduplicate through this solver's LRU cache exactly like direct
+        solves do (``shape`` always goes through the handler's
+        normalization, so graph keys can never drift from solve keys).
+        """
+        handler = get_handler(kind)
+        opts = self._resolve_options(options, {})
+        shapes = handler.shapes(shape=shape)
+        return self._plan_for(handler, shapes, opts)
+
     def plan(
         self,
         kind: str,
@@ -133,25 +191,38 @@ class Solver:
         overrides (``overlapped=True``, ...) are merged into the solver's
         default options.
         """
-        handler = get_handler(kind)
         opts = self._resolve_options(options, option_overrides)
-        shapes = handler.shapes(shape=shape)
-        plan, _hit = self._plan_for(handler, shapes, opts)
-        return plan
+        return self.resolve_plan(kind, shape=shape, options=opts)[0]
 
     def solve(
         self,
-        kind: str,
+        kind: "str | Problem",
         *operands,
         options: Optional[ExecutionOptions] = None,
         **kwargs,
     ) -> Solution:
         """Plan (with caching) and execute one problem.
 
-        Extra keyword arguments are execution arguments of the kind (e.g.
-        ``lower=False`` for ``triangular``); options overrides go through
-        ``options=``.
+        The canonical form takes a typed problem object —
+        ``solve(MatVec(a, x, b))`` — which carries its own operands,
+        execution arguments and options overrides.  The legacy string
+        spelling ``solve("matvec", a, x, b)`` remains supported as a thin
+        shim that builds the equivalent typed problem (extra keyword
+        arguments are execution arguments of the kind, e.g.
+        ``lower=False`` for ``triangular``; options overrides go through
+        ``options=``); prefer the typed form in new code.
         """
+        if isinstance(kind, Problem):
+            kind.require_bare(operands, kwargs)
+            return self.solve_problem(kind, options=options)
+        problem_class = problem_types().get(kind)
+        if problem_class is not None:
+            # Constructor errors (wrong arity, bad options, unknown
+            # kwargs) propagate: the typed constructors mirror the
+            # handlers' execute signatures exactly, so their diagnostics
+            # are the authoritative ones for these kinds.
+            problem = problem_class.from_call(operands, kwargs, options)
+            return self.solve_problem(problem, options=options)
         handler = get_handler(kind)
         opts = self._resolve_options(options, {})
         shapes = handler.shapes(operands=operands)
@@ -160,15 +231,40 @@ class Solver:
         solution.from_cache = hit
         return solution
 
+    def solve_problem(
+        self,
+        problem: Problem,
+        options: Optional[ExecutionOptions] = None,
+    ) -> Solution:
+        """Plan (with caching) and execute one *typed* problem.
+
+        The single-node fast path of the pipeline machinery: the handler
+        consumes the problem object directly — no kwargs re-parsing — and
+        the plan key derives from the problem's operand specs and options
+        overrides.  Problems referencing other pipeline stages must go
+        through :class:`~repro.graph.compiler.GraphCompiler` instead.
+        """
+        handler = get_handler(problem.kind)
+        base = options if options is not None else self._options
+        opts = problem.resolved_options(base)
+        operands = problem.concrete_operands()
+        shapes = handler.shapes(operands=operands)
+        plan, hit = self._plan_for(handler, shapes, opts)
+        solution = plan.execute_problem(problem)
+        solution.from_cache = hit
+        return solution
+
     def solve_batch(
         self,
-        kind: str,
+        kind: "str | Type[Problem]",
         batch: Sequence[Tuple],
         options: Optional[ExecutionOptions] = None,
     ) -> List[Solution]:
         """Solve a list of operand sets, reusing one plan per shape.
 
-        For the plain (non-overlapped) matvec kind, requests that share a
+        ``kind`` is a kind string or a typed problem class
+        (``solver.solve_batch(MatVec, [(a, x), (a2, x2)])``).  For the
+        plain (non-overlapped) matvec kind, requests that share a
         plan are grouped and executed *pairwise overlapped* — the second
         problem's schedule slots into the idle cycles of the first — so a
         uniform batch finishes in roughly half the sequential array time
@@ -177,6 +273,8 @@ class Solver:
         (A, B, A, B) still pairs the two A's and the two B's.  Results
         come back in the original batch order.
         """
+        if isinstance(kind, type) and issubclass(kind, Problem):
+            kind = kind.kind
         handler = get_handler(kind)
         opts = self._resolve_options(options, {})
         entries = [tuple(entry) for entry in batch]
@@ -188,36 +286,23 @@ class Solver:
             planned.append(self._plan_for(handler, shapes, opts))
 
         results: List[Optional[Solution]] = [None] * len(entries)
-        pair_capable = kind == "matvec" and not opts.overlapped
-        if pair_capable:
-            groups: "dict[int, List[int]]" = {}
-            for index, (plan, _hit) in enumerate(planned):
+        pending: List[int] = []
+        groups: "dict[int, List[int]]" = {}
+        for index, (plan, _hit) in enumerate(planned):
+            if plan.supports_pairing:
                 groups.setdefault(id(plan), []).append(index)
-            pending: List[int] = []
-            for indices in groups.values():
-                for position in range(0, len(indices) - 1, 2):
-                    first, second = indices[position], indices[position + 1]
-                    plan = planned[first][0]
-                    counters.plan_executions += 2
-                    legacy_a, legacy_b = plan.executor.execute_pair(
-                        entries[first], entries[second]
-                    )
-                    for index, legacy in ((first, legacy_a), (second, legacy_b)):
-                        solution = handler.wrap(plan, legacy)
-                        solution.from_cache = planned[index][1]
-                        solution.stats["paired"] = True
-                        # The paper's closed forms cover a standalone
-                        # problem (plain or split-overlapped), not two
-                        # interleaved requests sharing one run; drop the
-                        # predictions rather than report a false model
-                        # mismatch.
-                        solution.predicted_steps = None
-                        solution.predicted_utilization = None
-                        results[index] = solution
-                if len(indices) % 2:
-                    pending.append(indices[-1])
-        else:
-            pending = list(range(len(entries)))
+            else:
+                pending.append(index)
+        for indices in groups.values():
+            for position in range(0, len(indices) - 1, 2):
+                first, second = indices[position], indices[position + 1]
+                plan = planned[first][0]
+                paired = plan.execute_pair(entries[first], entries[second])
+                for index, solution in zip((first, second), paired):
+                    solution.from_cache = planned[index][1]
+                    results[index] = solution
+            if len(indices) % 2:
+                pending.append(indices[-1])
         for index in pending:
             plan, hit = planned[index]
             solution = plan.execute(*entries[index])
@@ -235,7 +320,7 @@ class Solver:
         return base.merged(**overrides) if overrides else base
 
     def _plan_for(self, handler, shapes, opts) -> Tuple[ExecutionPlan, bool]:
-        key = (handler.kind, shapes, self._spec.w, opts)
+        key = make_plan_key(handler.kind, shapes, self._spec.w, opts)
         plan = self._cache.get(key)
         if plan is not None:
             return plan, True

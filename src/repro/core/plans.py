@@ -124,6 +124,12 @@ class MatVecPlan:
     Immutable once built; :meth:`execute` only streams operand values.
     """
 
+    #: Two independent same-plan problems can share one array run through
+    #: :meth:`execute_pair` (the api batcher and the graph compiler route
+    #: pairable stages through it; the overlapped/split plan cannot, its
+    #: idle cycles already carry the second half of its own problem).
+    supports_pairing = True
+
     def __init__(
         self,
         n: int,
@@ -330,6 +336,8 @@ class OverlappedMatVecPlan:
     halves whose transformed problems interleave on the array's idle
     cycles; each half gets its own :class:`MatVecPlan` skeleton.
     """
+
+    supports_pairing = False
 
     def __init__(
         self,

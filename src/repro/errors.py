@@ -87,6 +87,27 @@ class ConvergenceError(ReproError, RuntimeError):
         self.residual_norm = residual_norm
 
 
+class GraphError(ReproError):
+    """A problem graph was built or used inconsistently.
+
+    Raised by :mod:`repro.graph` when a pipeline node is malformed in a
+    way that is not a plain shape mismatch — an unbound operand slot
+    (``Refine(b)`` never sequenced after a matrix-carrying stage), a
+    reference into a node that is not part of the graph, or a typed
+    problem carrying stage references handed to the single-problem
+    :meth:`~repro.api.solver.Solver.solve` path.
+    """
+
+
+class GraphCycleError(GraphError):
+    """A problem graph contains a reference cycle.
+
+    Pipeline graphs must be acyclic: a stage cannot (transitively) consume
+    its own output.  Raised at graph *build* time, before any plan is
+    compiled or operand is streamed.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by the :mod:`repro.service` layer."""
 

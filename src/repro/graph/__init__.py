@@ -1,0 +1,87 @@
+"""Typed problems and composable pipeline graphs.
+
+The front-door redesign of the package: instead of one isolated
+stringly-typed call per problem (``solver.solve("matvec", a, x, b)``),
+workloads are described as **typed problem objects** composed into **lazy
+expression DAGs**, compiled once, and executed as a whole::
+
+    import numpy as np
+    from repro.api import ArraySpec, Solver
+    from repro.graph import GraphCompiler, Graph, MatMul, MatVec, Refine
+
+    solver = Solver(ArraySpec(w=4))
+    rng = np.random.default_rng(0)
+    A, B = rng.normal(size=(12, 12)), rng.normal(size=(12, 12))
+    x = rng.normal(size=12)
+
+    y = MatMul(A, B) @ x                    # operator sugar builds the DAG
+    result = GraphCompiler(solver).run(y)   # compile + execute
+    assert np.allclose(result.values, A @ B @ x)
+
+    program = GraphCompiler(solver).compile(Graph(y))   # explicit compile
+    warm = program.run()                                 # 0 plan builds
+    assert warm.warm
+
+Pieces:
+
+* :mod:`~repro.graph.problems` — the typed problem classes
+  (:class:`MatVec`, :class:`MatMul`, :class:`Triangular`, :class:`LU`,
+  :class:`Jacobi`, :class:`SOR`, :class:`CG`, :class:`Refine`,
+  :class:`Power`, :class:`Sparse`), :class:`Ref` stage references, and
+  the stable :func:`problem_types` ``kind -> class`` mapping.
+* :mod:`~repro.graph.graph` — :class:`Graph`: build-time cycle
+  rejection, shape inference/checking, and dependency levels.
+* :mod:`~repro.graph.compiler` — :class:`GraphCompiler`: lowering
+  through the solver's plan cache (shared stages dedup to one plan),
+  same-plan matvec stage pairing onto overlapped array runs, and the
+  opt-in matmul→matvec associativity rewrite (``fuse=True``).
+* :mod:`~repro.graph.program` — :class:`PipelineProgram` (the reusable
+  compiled artifact) and :class:`PipelineResult` (per-stage solutions,
+  outputs, residuals, latencies, cold/warm build accounting).
+
+Whole graphs also execute through :mod:`repro.service`:
+``service.submit_graph(graph)`` routes the pipeline to its home shard,
+where every stage plan compiles once and stays hot across jobs.
+"""
+
+from .compiler import GraphCompiler
+from .graph import Graph, as_graph
+from .problems import (
+    CG,
+    LU,
+    Jacobi,
+    MatMul,
+    MatVec,
+    Power,
+    Problem,
+    Ref,
+    Refine,
+    SOR,
+    Sparse,
+    Triangular,
+    problem_types,
+)
+from .program import Binding, PipelineProgram, PipelineResult, PipelineStage
+
+__all__ = [
+    "Binding",
+    "CG",
+    "Graph",
+    "GraphCompiler",
+    "Jacobi",
+    "LU",
+    "MatMul",
+    "MatVec",
+    "PipelineProgram",
+    "PipelineResult",
+    "PipelineStage",
+    "Power",
+    "Problem",
+    "Ref",
+    "Refine",
+    "SOR",
+    "Sparse",
+    "Triangular",
+    "as_graph",
+    "problem_types",
+]

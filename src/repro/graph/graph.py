@@ -1,0 +1,316 @@
+"""Lazy expression DAGs over typed problems.
+
+A :class:`Graph` is built from one or more *output* problems; every
+problem transitively referenced through :class:`~repro.graph.problems.Ref`
+operands (or pure ordering edges from ``.then()``) becomes a node.  Build
+time does all the validation the string-kind API deferred to execution:
+
+* **cycle rejection** — a stage cannot (transitively) consume its own
+  output (:class:`~repro.errors.GraphCycleError`);
+* **shape inference and checking** — every operand slot is checked
+  against the producing stage's inferred output shape, so a pipeline
+  whose second stage cannot consume its first fails at *build/compile*
+  time with a :class:`~repro.errors.ShapeError`, before any plan is
+  compiled or value streamed;
+* **level assignment** — nodes are topologically ordered and grouped
+  into dependency levels; two nodes on the same level are provably
+  independent, which is what marks stages parallelizable (and lets the
+  compiler pair same-plan matvec stages onto one overlapped array run).
+
+The graph itself holds no plans and no solver: it is a pure, reusable
+description.  :meth:`plan_keys` derives the per-node cache/routing keys
+for a given array size and option defaults — the same keys the
+:class:`~repro.api.solver.Solver` string path computes, which is how
+:mod:`repro.service` routes a whole pipeline to its home shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api.config import ExecutionOptions
+from ..errors import GraphCycleError, GraphError
+from .problems import Problem, Ref
+
+__all__ = ["Graph", "as_graph"]
+
+
+def _ensure_handlers() -> None:
+    """Make sure the problem registry is populated (idempotent import)."""
+    from ..api import problems as _problems  # noqa: F401
+
+
+class Graph:
+    """An immutable, validated DAG of typed problems.
+
+    Construct from output problems — positionally (auto-named) and/or as
+    keywords (``Graph(y=outer)`` names the output ``"y"``)::
+
+        t = MatVec(B, x)
+        y = MatVec(A, t, name="y")
+        graph = Graph(y)            # t is pulled in as a dependency
+
+    ``nodes`` is the topological order; ``outputs`` maps the requested
+    output names to their nodes.
+    """
+
+    def __init__(self, *outputs: Problem, **named_outputs: Problem):
+        _ensure_handlers()
+        requested: List[Tuple[Optional[str], Problem]] = []
+        for problem in outputs:
+            requested.append((None, problem))
+        for name, problem in named_outputs.items():
+            requested.append((name, problem))
+        if not requested:
+            raise GraphError("a Graph needs at least one output problem")
+        for name, problem in requested:
+            if not isinstance(problem, Problem):
+                raise TypeError(
+                    f"Graph outputs must be typed problems, got "
+                    f"{type(problem).__name__}"
+                )
+        # Keyword output names live on the graph, never written back to
+        # the problem objects: building a graph must not mutate shared
+        # nodes another graph (or the caller) still addresses.
+        self._name_overrides: Dict[Problem, str] = {
+            problem: name for name, problem in requested if name is not None
+        }
+
+        self._nodes: Tuple[Problem, ...] = self._toposort(
+            [problem for _name, problem in requested]
+        )
+        self._index: Dict[Problem, int] = {
+            node: index for index, node in enumerate(self._nodes)
+        }
+        self._names: Tuple[str, ...] = self._assign_names()
+        self._deps: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted({self._index[dep] for dep in self._dependencies(node)}))
+            for node in self._nodes
+        )
+        self._levels: Tuple[int, ...] = self._assign_levels()
+        self._specs, self._output_shapes = self._infer_shapes()
+        self._outputs: Tuple[Tuple[str, int], ...] = tuple(
+            (
+                name if name is not None else self._names[self._index[problem]],
+                self._index[problem],
+            )
+            for name, problem in requested
+        )
+
+    # -- construction internals -----------------------------------------------------
+    @staticmethod
+    def _dependencies(node: Problem) -> List[Problem]:
+        deps = [ref.node for ref in node.iter_refs()]
+        deps.extend(node.after)
+        return deps
+
+    def _toposort(self, roots: Sequence[Problem]) -> Tuple[Problem, ...]:
+        """Iterative DFS post-order; grey-node re-entry is a cycle."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        state: Dict[Problem, int] = {}
+        order: List[Problem] = []
+        for root in roots:
+            if state.get(root, WHITE) == BLACK:
+                continue
+            stack: List[Tuple[Problem, bool]] = [(root, False)]
+            while stack:
+                node, children_done = stack.pop()
+                if children_done:
+                    state[node] = BLACK
+                    order.append(node)
+                    continue
+                mark = state.get(node, WHITE)
+                if mark == BLACK:
+                    continue
+                if mark == GREY:
+                    # Re-entering a node whose subtree is still open: the
+                    # path from it back to itself is a reference cycle.
+                    raise GraphCycleError(
+                        f"problem graph contains a cycle through "
+                        f"{type(node).__name__} node "
+                        f"{node.name or hex(id(node))}"
+                    )
+                state[node] = GREY
+                stack.append((node, True))
+                for dep in self._dependencies(node):
+                    mark = state.get(dep, WHITE)
+                    if mark == GREY:
+                        raise GraphCycleError(
+                            f"problem graph contains a cycle through "
+                            f"{type(dep).__name__} node "
+                            f"{dep.name or hex(id(dep))}"
+                        )
+                    if mark == WHITE:
+                        stack.append((dep, False))
+        return tuple(order)
+
+    def _assign_names(self) -> Tuple[str, ...]:
+        """Unique per-node names: explicit names must not clash with each
+        other; auto-generated names step around anything taken."""
+        explicit: Dict[str, int] = {}
+        for index, node in enumerate(self._nodes):
+            name = self._name_overrides.get(node) or node.name
+            if name is None:
+                continue
+            if name in explicit:
+                raise GraphError(
+                    f"duplicate node name {name!r} (nodes {explicit[name]} "
+                    f"and {index}); name each output/stage uniquely"
+                )
+            explicit[name] = index
+        names: List[str] = []
+        taken = set(explicit)
+        for index, node in enumerate(self._nodes):
+            name = self._name_overrides.get(node) or node.name
+            if name is None:
+                counter = index
+                name = f"{node.kind}_{counter}"
+                while name in taken:
+                    counter += 1
+                    name = f"{node.kind}_{counter}"
+                taken.add(name)
+            names.append(name)
+        return tuple(names)
+
+    def _assign_levels(self) -> Tuple[int, ...]:
+        levels: List[int] = []
+        for index in range(len(self._nodes)):
+            deps = self._deps[index]
+            levels.append(1 + max((levels[d] for d in deps), default=-1))
+        return tuple(levels)
+
+    def _infer_shapes(self):
+        """Validate every node's operands; returns (spec, output shape) maps."""
+        specs: List[Tuple] = []
+        output_shapes: List[Any] = []
+
+        def shape_of_factory(consumer: Problem):
+            def shape_of(value: Any, label: str) -> Tuple[int, ...]:
+                if isinstance(value, Ref):
+                    producer = value.node
+                    if producer not in self._index:
+                        raise GraphError(
+                            f"{type(consumer).__name__}.{label} references a "
+                            f"node outside this graph"
+                        )
+                    produced = output_shapes[self._index[producer]]
+                    if producer.produces == "factors":
+                        if value.item is None:
+                            raise GraphError(
+                                f"{type(consumer).__name__}.{label} consumes "
+                                f"a factor pair; select one with .lower/.upper"
+                            )
+                        return produced[value.item]
+                    if value.item is not None:
+                        raise GraphError(
+                            f"{type(consumer).__name__}.{label}: item "
+                            f"selection on a single-valued "
+                            f"{type(producer).__name__} output"
+                        )
+                    return produced
+                return tuple(int(dim) for dim in np.shape(value))
+
+            return shape_of
+
+        for node in self._nodes:
+            spec, output_shape = node.spec_and_output(shape_of_factory(node))
+            specs.append(spec)
+            output_shapes.append(output_shape)
+        return tuple(specs), tuple(output_shapes)
+
+    # -- introspection ----------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[Problem, ...]:
+        """All nodes in topological (dependency-first) order."""
+        return self._nodes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Node names, aligned with :attr:`nodes`."""
+        return self._names
+
+    @property
+    def outputs(self) -> Tuple[Tuple[str, int], ...]:
+        """The requested graph outputs as ``(name, node index)`` pairs."""
+        return self._outputs
+
+    @property
+    def levels(self) -> Tuple[int, ...]:
+        """Dependency level per node; equal levels are independent stages."""
+        return self._levels
+
+    def dependencies(self, index: int) -> Tuple[int, ...]:
+        """Indices of the nodes that node ``index`` depends on."""
+        return self._deps[index]
+
+    def index_of(self, node: Problem) -> int:
+        try:
+            return self._index[node]
+        except KeyError:
+            raise GraphError(f"{node!r} is not a node of this graph") from None
+
+    def spec(self, index: int) -> Tuple:
+        """The plan shape spec of node ``index`` (handler ``shape=`` form)."""
+        return self._specs[index]
+
+    def output_shape(self, index: int):
+        """The inferred output shape of node ``index``."""
+        return self._output_shapes[index]
+
+    def plan_keys(
+        self, w: int, options: Optional[ExecutionOptions] = None
+    ) -> Tuple[Tuple, ...]:
+        """Per-node ``(kind, shapes, w, options)`` keys, in topological order.
+
+        These are exactly the keys a :class:`~repro.api.solver.Solver` of
+        array size ``w`` with default ``options`` would compute for each
+        stage, so they double as the service routing key of the whole
+        pipeline.
+        """
+        from ..api.plan import make_plan_key
+        from ..api.registry import get_handler
+
+        base = options if options is not None else ExecutionOptions()
+        keys: List[Tuple] = []
+        for index, node in enumerate(self._nodes):
+            handler = get_handler(node.kind)
+            shapes = handler.shapes(shape=self._specs[index])
+            keys.append(
+                make_plan_key(
+                    node.kind, shapes, w, node.resolved_options(base)
+                )
+            )
+        return tuple(keys)
+
+    def describe(self) -> str:
+        """One line per node: name, kind, level, dependencies, shapes."""
+        lines = [f"Graph with {len(self._nodes)} node(s)"]
+        for index, node in enumerate(self._nodes):
+            deps = ", ".join(self._names[d] for d in self._deps[index]) or "-"
+            lines.append(
+                f"  [{self._levels[index]}] {self._names[index]}: {node.kind} "
+                f"shapes={self._specs[index]} deps=({deps})"
+            )
+        outputs = ", ".join(name for name, _index in self._outputs)
+        lines.append(f"  outputs: {outputs}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        outputs = ", ".join(name for name, _index in self._outputs)
+        return f"Graph(nodes={len(self._nodes)}, outputs=[{outputs}])"
+
+
+def as_graph(graph: "Graph | Problem") -> Graph:
+    """Coerce a bare problem (or pass a graph through) into a :class:`Graph`."""
+    if isinstance(graph, Graph):
+        return graph
+    if isinstance(graph, Problem):
+        return Graph(graph)
+    raise TypeError(
+        f"expected a Graph or a typed Problem, got {type(graph).__name__}"
+    )

@@ -1,0 +1,363 @@
+"""Compiled pipeline programs and their aggregated results.
+
+A :class:`PipelineProgram` is what :class:`~repro.graph.compiler.GraphCompiler`
+lowers a :class:`~repro.graph.graph.Graph` to: per-stage
+:class:`~repro.api.plan.ExecutionPlan` objects (resolved through — and
+deduplicated by — the owning solver's plan cache), operand bindings that
+feed stage outputs into downstream slots, dependency levels marking
+parallelizable stages, and the pairs of independent same-plan matvec
+stages that execute together on one overlapped array run.
+
+Running a program streams values only: a warm program performs **zero**
+plan or transform construction, which is the whole point — a multi-stage
+workload re-executed under new operand values costs k plan executions,
+not k Python-API round-trips with re-validation and cache probes.
+
+:class:`PipelineResult` aggregates the per-stage
+:class:`~repro.api.solution.Solution` objects, the requested graph
+outputs, per-stage residual norms and latencies, and the cold/warm
+plan-build accounting for both the compile and the run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..api.plan import ExecutionPlan
+from ..api.solution import Solution
+from ..instrumentation import counters
+
+__all__ = ["Binding", "PipelineProgram", "PipelineResult", "PipelineStage"]
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One operand (or kwarg) slot of a compiled stage.
+
+    Either a concrete ``value``, or a reference to the output of stage
+    ``source`` (with ``item`` selecting one element of a multi-valued
+    output, e.g. an LU factor).
+    """
+
+    value: Any = None
+    source: Optional[int] = None
+    item: Optional[int] = None
+
+    def resolve(self, outputs: List[Any]) -> Any:
+        if self.source is None:
+            return self.value
+        produced = outputs[self.source]
+        if self.item is not None:
+            return produced[self.item]
+        return produced
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One lowered stage: a resolved plan plus its operand bindings."""
+
+    index: int
+    name: str
+    kind: str
+    plan: ExecutionPlan
+    operands: Tuple[Binding, ...]
+    kwargs: Mapping[str, Binding]
+    level: int
+    #: Whether the stage's plan was already resident at compile time.
+    plan_cached: bool
+
+
+class PipelineProgram:
+    """An executable, reusable lowering of one problem graph.
+
+    Bound to the solver (and plan cache) that compiled it; execute with
+    :meth:`run` any number of times.  ``pairs`` lists the stage-index
+    pairs the compiler marked for shared overlapped execution;
+    ``fused_rewrites`` counts matmul→matvec associativity rewrites the
+    compiler applied (only under ``fuse=True``).
+    """
+
+    def __init__(
+        self,
+        stages: Tuple[PipelineStage, ...],
+        outputs: Tuple[Tuple[str, int], ...],
+        pairs: Tuple[Tuple[int, int], ...] = (),
+        fused_rewrites: int = 0,
+        compile_plan_builds: int = 0,
+    ):
+        self._stages = stages
+        self._outputs = outputs
+        self._pairs = pairs
+        self._pair_partner: Dict[int, int] = {}
+        for first, second in pairs:
+            self._pair_partner[first] = second
+            self._pair_partner[second] = first
+        self._fused_rewrites = int(fused_rewrites)
+        self._compile_plan_builds = int(compile_plan_builds)
+        self._ran = False
+
+    # -- introspection ----------------------------------------------------------------
+    @property
+    def stages(self) -> Tuple[PipelineStage, ...]:
+        return self._stages
+
+    @property
+    def outputs(self) -> Tuple[Tuple[str, int], ...]:
+        return self._outputs
+
+    @property
+    def pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """Stage-index pairs that share one overlapped array run."""
+        return self._pairs
+
+    @property
+    def fused_rewrites(self) -> int:
+        return self._fused_rewrites
+
+    @property
+    def compile_plan_builds(self) -> int:
+        """Plans built (not cache-hit) while compiling this program."""
+        return self._compile_plan_builds
+
+    @property
+    def n_levels(self) -> int:
+        return 1 + max((stage.level for stage in self._stages), default=-1)
+
+    def plan_keys(self) -> Tuple[Tuple, ...]:
+        return tuple(stage.plan.key for stage in self._stages)
+
+    def describe(self) -> str:
+        """Stage table: level, name, kind, plan reuse, pairing."""
+        unique_plans = len({id(stage.plan) for stage in self._stages})
+        lines = [
+            (
+                f"PipelineProgram: {len(self._stages)} stage(s) over "
+                f"{self.n_levels} level(s), {unique_plans} distinct plan(s), "
+                f"{len(self._pairs)} overlapped pair(s), "
+                f"{self._fused_rewrites} fusion rewrite(s)"
+            )
+        ]
+        for stage in self._stages:
+            marks = []
+            if stage.plan_cached:
+                marks.append("warm")
+            if stage.index in self._pair_partner:
+                partner = self._stages[self._pair_partner[stage.index]].name
+                marks.append(f"paired with {partner}")
+            suffix = f"  [{', '.join(marks)}]" if marks else ""
+            lines.append(
+                f"  [{stage.level}] {stage.name}: {stage.kind} "
+                f"shapes={stage.plan.shapes}{suffix}"
+            )
+        outputs = ", ".join(name for name, _index in self._outputs)
+        lines.append(f"  outputs: {outputs}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PipelineProgram(stages={len(self._stages)}, "
+            f"pairs={len(self._pairs)})"
+        )
+
+    # -- execution --------------------------------------------------------------------
+    def run(self) -> "PipelineResult":
+        """Execute every stage in dependency order; returns the result.
+
+        Stage outputs feed downstream operand slots in memory; paired
+        stages execute together through the plan's overlapped contraflow
+        path (values identical to sequential execution); everything else
+        streams through its plan one stage at a time.
+
+        The program's compile-time plan builds are charged to the *first*
+        run's result only — they are paid once, so every later run of a
+        resident program reports ``warm`` as soon as execution itself
+        builds nothing.
+        """
+        counters.graph_runs += 1
+        charged_compile_builds = 0 if self._ran else self._compile_plan_builds
+        self._ran = True
+        total_start = time.perf_counter()
+        n = len(self._stages)
+        solutions: List[Optional[Solution]] = [None] * n
+        outputs: List[Any] = [None] * n
+        latencies: List[float] = [0.0] * n
+
+        def finish(index: int, solution: Solution, elapsed: float) -> None:
+            solutions[index] = solution
+            outputs[index] = solution.values
+            latencies[index] = elapsed
+
+        # Level order, not stage-list order: a paired partner's
+        # dependencies may sit *after* the pair's first member in the
+        # graph's topological order, but they always sit on a strictly
+        # lower level, so walking levels makes every pair fire with both
+        # members' inputs resolved.
+        for stage in sorted(self._stages, key=lambda s: (s.level, s.index)):
+            if solutions[stage.index] is not None:
+                continue  # already produced as the second half of a pair
+            operands = tuple(
+                binding.resolve(outputs) for binding in stage.operands
+            )
+            partner_index = self._pair_partner.get(stage.index)
+            start = time.perf_counter()
+            if partner_index is not None:
+                partner = self._stages[partner_index]
+                partner_operands = tuple(
+                    binding.resolve(outputs) for binding in partner.operands
+                )
+                first, second = stage.plan.execute_pair(
+                    _matvec_triple(operands), _matvec_triple(partner_operands)
+                )
+                elapsed = time.perf_counter() - start
+                counters.fused_matvec_pairs += 1
+                # The shared run's wall time is attributed to both stages.
+                finish(stage.index, first, elapsed)
+                finish(partner_index, second, elapsed)
+                continue
+            kwargs = {
+                key: binding.resolve(outputs)
+                for key, binding in stage.kwargs.items()
+            }
+            solution = stage.plan.execute(*operands, **kwargs)
+            finish(stage.index, solution, time.perf_counter() - start)
+
+        # Execution-time builds are the inner engine plans the iterative
+        # kinds warm up on their first sweep; every solution reports its
+        # own (engine-local, hence shard-exact) split, so summing them
+        # stays correct while other service shards build concurrently —
+        # unlike a diff of the process-global counter.
+        run_builds = sum(
+            int(solution.stats.get("plan_builds_first_sweep", 0))
+            + int(solution.stats.get("plan_builds_warm_sweeps", 0))
+            for solution in solutions
+            if solution is not None
+        )
+        return PipelineResult(
+            names=tuple(stage.name for stage in self._stages),
+            kinds=tuple(stage.kind for stage in self._stages),
+            solutions=tuple(solutions),  # type: ignore[arg-type]
+            outputs=tuple(
+                (name, outputs[index]) for name, index in self._outputs
+            ),
+            stage_seconds=tuple(latencies),
+            total_seconds=time.perf_counter() - total_start,
+            plan_builds=run_builds,
+            compile_plan_builds=charged_compile_builds,
+            fused_pairs=len(self._pairs),
+            fused_rewrites=self._fused_rewrites,
+            levels=tuple(stage.level for stage in self._stages),
+        )
+
+
+def _matvec_triple(operands: Tuple) -> Tuple:
+    """Normalize matvec operands to the (matrix, x, b) pairing form."""
+    if len(operands) == 2:
+        return (operands[0], operands[1], None)
+    return operands
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Aggregated result of one :meth:`PipelineProgram.run`.
+
+    ``plan_builds`` counts plans built *during the run* — the inner
+    engine plans the iterative kinds warm up on their first sweep, as
+    reported per solution (engine-local accounting, exact even while
+    other service shards compile concurrently).
+    ``compile_plan_builds`` counts stage plans built when the program
+    was compiled (charged to the first run).  A fully warm pipeline
+    reports zero for both.
+    """
+
+    names: Tuple[str, ...]
+    kinds: Tuple[str, ...]
+    solutions: Tuple[Solution, ...]
+    outputs: Tuple[Tuple[str, Any], ...]
+    stage_seconds: Tuple[float, ...]
+    total_seconds: float
+    plan_builds: int
+    compile_plan_builds: int
+    fused_pairs: int
+    fused_rewrites: int
+    levels: Tuple[int, ...] = ()
+
+    @property
+    def warm(self) -> bool:
+        """True when neither compile nor run built a single plan."""
+        return self.plan_builds == 0 and self.compile_plan_builds == 0
+
+    @property
+    def values(self) -> Any:
+        """The single graph output's values (errors if there are several)."""
+        if len(self.outputs) != 1:
+            names = ", ".join(name for name, _values in self.outputs)
+            raise ValueError(
+                f"pipeline has {len(self.outputs)} outputs ({names}); "
+                f"select one with result.output(name)"
+            )
+        return self.outputs[0][1]
+
+    def output(self, name: str) -> Any:
+        """The values of the graph output called ``name``."""
+        for output_name, values in self.outputs:
+            if output_name == name:
+                return values
+        known = ", ".join(output_name for output_name, _values in self.outputs)
+        raise KeyError(f"no pipeline output {name!r} (outputs: {known})")
+
+    def __getitem__(self, name: str) -> Solution:
+        """The per-stage :class:`Solution` of the stage called ``name``."""
+        try:
+            return self.solutions[self.names.index(name)]
+        except ValueError:
+            known = ", ".join(self.names)
+            raise KeyError(f"no pipeline stage {name!r} (stages: {known})") from None
+
+    @property
+    def residuals(self) -> Mapping[str, float]:
+        """Per-stage residual norms, where the stage's kind reports one."""
+        found: Dict[str, float] = {}
+        for name, solution in zip(self.names, self.solutions):
+            residual = solution.stats.get("residual_norm")
+            if residual is not None:
+                found[name] = float(residual)
+        return found
+
+    @property
+    def stage_latency(self) -> Mapping[str, float]:
+        """Per-stage wall seconds (paired stages share their run's time)."""
+        return dict(zip(self.names, self.stage_seconds))
+
+    def describe(self) -> str:
+        """Multi-line per-graph report: stages, fusion, builds, latency."""
+        build_state = "warm" if self.warm else "cold"
+        lines = [
+            (
+                f"PipelineResult: {len(self.solutions)} stage(s) in "
+                f"{self.total_seconds * 1e3:.2f} ms ({build_state}: "
+                f"{self.compile_plan_builds} compile + {self.plan_builds} "
+                f"run plan build(s))"
+            ),
+            (
+                f"  fusion:    {self.fused_pairs} overlapped pair(s), "
+                f"{self.fused_rewrites} matmul->matvec rewrite(s)"
+            ),
+        ]
+        residuals = self.residuals
+        for index, (name, solution) in enumerate(zip(self.names, self.solutions)):
+            level = self.levels[index] if self.levels else 0
+            extra = ""
+            if name in residuals:
+                extra += f", residual {residuals[name]:.3e}"
+            if solution.stats.get("paired"):
+                extra += ", paired"
+            lines.append(
+                f"  [{level}] {name}: {solution.kind} in "
+                f"{self.stage_seconds[index] * 1e3:.2f} ms"
+                f"{extra}"
+            )
+        outputs = ", ".join(name for name, _values in self.outputs)
+        lines.append(f"  outputs:   {outputs}")
+        return "\n".join(lines)

@@ -23,7 +23,7 @@ serialized on a shared lock by the service telemetry and stay exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 __all__ = ["CacheStats", "Counters", "counters", "transform_constructions"]
 
@@ -81,7 +81,13 @@ class Counters:
     serialized on one shared lock across all shards, so they stay exact
     even though the service is multithreaded.  ``iterative_sweeps`` counts
     the sweeps executed by the :mod:`repro.iterative` solvers (lock-free,
-    same caveat as ``plan_builds``).
+    same caveat as ``plan_builds``).  ``graph_compiles`` /
+    ``graph_runs`` / ``fused_matvec_pairs`` are bumped by the
+    :mod:`repro.graph` pipeline layer: one per
+    :meth:`~repro.graph.compiler.GraphCompiler.compile`, one per
+    :meth:`~repro.graph.program.PipelineProgram.run`, and one per pair of
+    independent same-plan matvec stages executed through the array's
+    overlapped contraflow path.
     """
 
     transform_constructions: int = 0
@@ -90,28 +96,21 @@ class Counters:
     service_requests: int = 0
     service_batches: int = 0
     iterative_sweeps: int = 0
+    graph_compiles: int = 0
+    graph_runs: int = 0
+    fused_matvec_pairs: int = 0
 
     def snapshot(self) -> "Counters":
         """An independent copy for before/after diffing."""
-        return Counters(
-            transform_constructions=self.transform_constructions,
-            plan_builds=self.plan_builds,
-            plan_executions=self.plan_executions,
-            service_requests=self.service_requests,
-            service_batches=self.service_batches,
-            iterative_sweeps=self.iterative_sweeps,
-        )
+        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
 
     def delta(self, earlier: "Counters") -> "Counters":
         """Counter increments since ``earlier`` (a prior :meth:`snapshot`)."""
         return Counters(
-            transform_constructions=self.transform_constructions
-            - earlier.transform_constructions,
-            plan_builds=self.plan_builds - earlier.plan_builds,
-            plan_executions=self.plan_executions - earlier.plan_executions,
-            service_requests=self.service_requests - earlier.service_requests,
-            service_batches=self.service_batches - earlier.service_batches,
-            iterative_sweeps=self.iterative_sweeps - earlier.iterative_sweeps,
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
 
 

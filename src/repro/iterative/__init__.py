@@ -26,6 +26,16 @@ the residual history, convergence status, array step budget, aggregated
 split; stopping is controlled by one hashable
 :class:`~repro.iterative.criteria.ConvergenceCriteria` (which rides in
 ``ExecutionOptions`` and therefore in the plan key).
+
+The canonical request spellings are the typed problems of
+:mod:`repro.graph` — ``solver.solve(Jacobi(a, b))``,
+``SOR(a, b, omega=1.4)``, ``CG(a, b, criteria=...)``, ``Refine(a, b)``,
+``Power(a, x0=...)`` — whose ``criteria``/``omega`` overrides merge into
+the options (and hence the plan key) exactly like the
+``ExecutionOptions`` spellings below.  As pipeline stages they compose
+with every other kind: ``LU(a).then(Refine(b))`` sequences refinement
+after a factorization, and a stage reference as ``x0`` warm-starts one
+method from another's output (``Power(a, x0=SOR(a, b))``).
 """
 
 from .base import PlanCachedIterativeSolver

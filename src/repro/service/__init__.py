@@ -33,14 +33,24 @@ job executes on its plan key's home shard, where the compiled solver
 engine and its inner per-shape plans stay hot across jobs, and the
 telemetry accounts the per-kind sweep totals (``iterations_by_kind``).
 
-See ``examples/serving_demo.py`` for an end-to-end tour and
-``benchmarks/test_service_throughput.py`` for the throughput claim this
-layer exists to win.
+Whole pipeline graphs (:mod:`repro.graph`) are first-class requests too:
+``submit_graph(graph)`` routes a multi-stage DAG by the tuple of its
+per-stage plan keys to one home shard, where a shard-local
+:class:`~repro.graph.compiler.GraphCompiler` lowers it against the
+shard's private plan cache — every stage plan compiles once per service,
+and re-submitted same-shaped graphs execute with zero plan builds.  The
+telemetry's pipeline columns (``graphs``, ``graph_stages``,
+``graph_fused``, stage latency percentiles) account them.
+
+See ``examples/serving_demo.py`` and ``examples/pipeline_demo.py`` for
+end-to-end tours and ``benchmarks/test_service_throughput.py`` /
+``benchmarks/test_pipeline_fusion.py`` for the claims this layer exists
+to win.
 """
 
 from .backpressure import BACKPRESSURE_POLICIES, BoundedRequestQueue
 from .batcher import AdmissionBatcher
-from .request import SolveRequest
+from .request import GraphJob, SolveRequest
 from .service import SolverService
 from .telemetry import ServiceStats, ShardStats, ShardTelemetry
 from .workers import ShardWorker
@@ -49,6 +59,7 @@ __all__ = [
     "AdmissionBatcher",
     "BACKPRESSURE_POLICIES",
     "BoundedRequestQueue",
+    "GraphJob",
     "ServiceStats",
     "ShardStats",
     "ShardTelemetry",

@@ -17,9 +17,8 @@ testable from the worker machinery.
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict, Hashable, List
 
-from ..api.plan import PlanKey
 from .backpressure import BoundedRequestQueue
 from .request import SolveRequest
 
@@ -89,8 +88,9 @@ class AdmissionBatcher:
 
         Groups preserve arrival order (both across groups — ordered by
         their earliest member — and within a group).  Requests carrying
-        kind-specific execution kwargs are not batchable (``solve_batch``
-        has no per-entry argument channel) and become singleton groups.
+        kind-specific execution kwargs — or a whole-pipeline graph job —
+        are not batchable (``solve_batch`` has no per-entry argument
+        channel) and become singleton groups.
         """
         groups: "Dict[object, List[SolveRequest]]" = {}
         order: List[List[SolveRequest]] = []
@@ -98,7 +98,7 @@ class AdmissionBatcher:
             if not request.batchable:
                 order.append([request])
                 continue
-            key: PlanKey = request.plan_key
+            key: Hashable = request.plan_key
             group = groups.get(key)
             if group is None:
                 group = groups[key] = []

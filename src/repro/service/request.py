@@ -6,6 +6,13 @@ holds, the plan key that routes it, and the timing fields the telemetry
 and deadline machinery need.  Requests are created by
 :class:`~repro.service.service.SolverService.submit` and consumed by
 exactly one shard worker; the future is resolved exactly once.
+
+Whole-pipeline jobs (``SolverService.submit_graph``) ride the same
+request type with a :class:`GraphJob` payload: the routing key is then
+the tuple of the graph's per-stage plan keys, so a multi-stage graph
+always lands on the one shard holding every stage plan warm, and the
+worker compiles/executes it through its shard-local
+:class:`~repro.graph.compiler.GraphCompiler`.
 """
 
 from __future__ import annotations
@@ -13,12 +20,24 @@ from __future__ import annotations
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
-from ..api.plan import PlanKey
 from ..api.config import ExecutionOptions
 
-__all__ = ["SolveRequest"]
+__all__ = ["GraphJob", "SolveRequest"]
+
+
+@dataclass(frozen=True)
+class GraphJob:
+    """A whole-pipeline payload: the graph plus its compile policy.
+
+    ``fuse`` opts into the matmul→matvec associativity rewrite (changes
+    floating-point association, hence off by default — see
+    :class:`~repro.graph.compiler.GraphCompiler`).
+    """
+
+    graph: Any
+    fuse: bool = False
 
 
 @dataclass
@@ -30,14 +49,22 @@ class SolveRequest:
     :class:`~repro.errors.DeadlineExceededError` instead of executing.
     ``kwargs`` carries kind-specific execution arguments (``lower=False``,
     ``x0=...``); a request with kwargs is never batch-flushed because
-    ``solve_batch`` has no per-entry argument channel.
+    ``solve_batch`` has no per-entry argument channel.  ``graph`` carries
+    a whole-pipeline :class:`GraphJob` (the request then has no operands
+    of its own and is likewise never batch-flushed).
+
+    ``plan_key`` is the routing key: the usual 4-tuple
+    ``(kind, shapes, w, options)`` for single solves, and
+    ``("__graph__", stage keys, w, options)`` for pipeline jobs — always
+    hashable, always stable for a given workload shape.
     """
 
     kind: str
     operands: Tuple[Any, ...]
-    plan_key: PlanKey
+    plan_key: Hashable
     options: Optional[ExecutionOptions] = None
     kwargs: Dict[str, Any] = field(default_factory=dict)
+    graph: Optional[GraphJob] = None
     deadline: Optional[float] = None
     future: "Future[Any]" = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
@@ -45,7 +72,7 @@ class SolveRequest:
     @property
     def batchable(self) -> bool:
         """Whether the request may ride a multi-entry ``solve_batch`` flush."""
-        return not self.kwargs
+        return not self.kwargs and self.graph is None
 
     def expired(self, now: Optional[float] = None) -> bool:
         """True when the request's deadline has already passed."""

@@ -35,8 +35,11 @@ from ..api.plan import PlanKey
 from ..api.solution import Solution
 from ..api.solver import Solver
 from ..errors import ServiceClosedError, ServiceOverloadedError
+from ..graph.graph import Graph, as_graph
+from ..graph.problems import Problem
+from ..graph.program import PipelineResult
 from .backpressure import BACKPRESSURE_POLICIES, BoundedRequestQueue
-from .request import SolveRequest
+from .request import GraphJob, SolveRequest
 from .telemetry import ServiceStats, ShardTelemetry
 from .workers import ShardWorker
 
@@ -162,14 +165,18 @@ class SolverService:
             kind, *operands, shape=shape, options=options
         )
 
-    def shard_index(self, key: PlanKey) -> int:
-        """Which shard a plan key routes to (stable within this process)."""
+    def shard_index(self, key: "PlanKey | Any") -> int:
+        """Which shard a routing key maps to (stable within this process).
+
+        Single solves route by their 4-tuple plan key; whole-pipeline
+        jobs by ``("__graph__", stage keys, w, options)``.
+        """
         return hash(key) % len(self._shards)
 
     # -- the serving surface ------------------------------------------------------
     def submit(
         self,
-        kind: str,
+        kind: "str | Problem",
         *operands,
         options: Optional[ExecutionOptions] = None,
         timeout: Optional[float] = None,
@@ -177,6 +184,10 @@ class SolverService:
     ) -> "Future[Solution]":
         """Admit one solve request; returns the future of its ``Solution``.
 
+        ``kind`` is a kind string with positional operands, or a typed
+        problem object (``service.submit(MatVec(a, x))``), which is
+        unpacked into its canonical kind/operands/arguments so typed and
+        string submissions share plan keys, shards and admission batches.
         ``timeout`` is the request's *deadline* budget in seconds: if no
         worker gets to it in time it fails with
         :class:`~repro.errors.DeadlineExceededError`.  Extra keyword
@@ -186,6 +197,14 @@ class SolverService:
         """
         if self._closed:
             raise ServiceClosedError("cannot submit to a closed service")
+        if isinstance(kind, Problem):
+            problem = kind
+            problem.require_bare(operands, kwargs)
+            base = options if options is not None else self._options
+            options = problem.resolved_options(base)
+            kind = problem.kind
+            operands = problem.concrete_operands()
+            kwargs = problem.execute_kwargs()
         key = self.plan_key(kind, *operands, options=options)
         request = SolveRequest(
             kind=kind,
@@ -195,13 +214,57 @@ class SolverService:
             kwargs=dict(kwargs),
             deadline=None if timeout is None else time.monotonic() + timeout,
         )
-        worker = self._shards[self.shard_index(key)]
+        return self._admit(request)
+
+    def submit_graph(
+        self,
+        graph: "Graph | Problem",
+        *,
+        fuse: bool = False,
+        options: Optional[ExecutionOptions] = None,
+        timeout: Optional[float] = None,
+    ) -> "Future[PipelineResult]":
+        """Admit a whole pipeline graph; returns the future of its result.
+
+        The graph (or single typed problem) is validated synchronously —
+        cycles, unknown kinds and cross-stage shape mismatches fail at
+        the call site — and routed *as a unit* by the tuple of its
+        per-stage plan keys, so every submission of a same-shaped
+        pipeline lands on the one shard where all of its stage plans
+        compiled the first time: after warmup a multi-stage graph
+        executes shard-local with zero recompiles.  The future resolves
+        to a :class:`~repro.graph.program.PipelineResult`.
+
+        ``fuse`` opts into the matmul→matvec associativity rewrite
+        (changes floating-point association; routing still uses the
+        unfused keys, so fused and unfused submissions of one graph
+        share a home shard).
+        """
+        if self._closed:
+            raise ServiceClosedError("cannot submit to a closed service")
+        graph = as_graph(graph)
+        base = options if options is not None else self._options
+        stage_keys = graph.plan_keys(self._spec.w, base)
+        key = ("__graph__", stage_keys, self._spec.w, base)
+        request = SolveRequest(
+            kind="graph",
+            operands=(),
+            plan_key=key,
+            options=options,
+            graph=GraphJob(graph=graph, fuse=fuse),
+            deadline=None if timeout is None else time.monotonic() + timeout,
+        )
+        return self._admit(request)
+
+    def _admit(self, request: SolveRequest) -> "Future[Any]":
+        """Route one request to its home shard and enqueue it."""
+        worker = self._shards[self.shard_index(request.plan_key)]
         try:
             shed = worker.queue.put(request, timeout=self._submit_timeout)
         except ServiceOverloadedError:
             worker.telemetry.record_rejected()
             raise
-        worker.telemetry.record_submitted(kind, len(worker.queue))
+        worker.telemetry.record_submitted(request.kind, len(worker.queue))
         if shed is not None:
             worker.telemetry.record_shed()
             shed.fail(
@@ -215,7 +278,7 @@ class SolverService:
 
     def solve(
         self,
-        kind: str,
+        kind: "str | Problem",
         *operands,
         options: Optional[ExecutionOptions] = None,
         timeout: Optional[float] = None,
@@ -224,6 +287,20 @@ class SolverService:
         """Synchronous convenience: ``submit(...).result()``."""
         future = self.submit(
             kind, *operands, options=options, timeout=timeout, **kwargs
+        )
+        return future.result()
+
+    def solve_graph(
+        self,
+        graph: "Graph | Problem",
+        *,
+        fuse: bool = False,
+        options: Optional[ExecutionOptions] = None,
+        timeout: Optional[float] = None,
+    ) -> PipelineResult:
+        """Synchronous convenience: ``submit_graph(...).result()``."""
+        future = self.submit_graph(
+            graph, fuse=fuse, options=options, timeout=timeout
         )
         return future.result()
 

@@ -35,6 +35,11 @@ LATENCY_RESERVOIR_SIZE = 4096
 _INSTRUMENTATION_LOCK = threading.Lock()
 
 
+def _ms(value: Optional[float]) -> str:
+    """Milliseconds with an ``n/a`` fallback, for the describe() reports."""
+    return "n/a" if value is None else f"{value * 1e3:.2f} ms"
+
+
 def percentile(sample: Sequence[float], fraction: float) -> Optional[float]:
     """Nearest-rank percentile of ``sample`` (``None`` for an empty sample)."""
     if not sample:
@@ -69,6 +74,38 @@ class ShardStats:
     #: Total iterative sweeps executed per kind (jacobi/sor/cg/refine/
     #: power/gauss_seidel); empty for shards that served only direct kinds.
     iterations_by_kind: Mapping[str, int] = field(default_factory=dict)
+    #: Whole-pipeline jobs completed on this shard.
+    graphs: int = 0
+    #: Total stages executed across those pipeline jobs.
+    graph_stages: int = 0
+    #: Fusion *events* across those jobs: each overlapped matvec pair run
+    #: (covering two stages) counts one, as does each matmul→matvec
+    #: associativity rewrite.
+    graph_fused: int = 0
+    stage_latency_p50: Optional[float] = None
+    stage_latency_p95: Optional[float] = None
+    stage_latency_sample: Tuple[float, ...] = field(repr=False, default=())
+
+    def describe(self) -> str:
+        """One-shard, one-paragraph report (``ServiceStats.describe`` uses it)."""
+        # An unobserved cache (no hits, no misses — e.g. describe() called
+        # without a snapshot) has no meaningful rate; 0.000 would read as
+        # "completely cold", the opposite of unknown.
+        observed = self.cache.hits + self.cache.misses
+        hit_rate = f"{self.cache.hit_rate:.3f}" if observed else "n/a"
+        line = (
+            f"shard {self.shard_id}: {self.submitted} requests, "
+            f"{self.batches} flushes, cache hit rate "
+            f"{hit_rate}, p95 {_ms(self.latency_p95)}"
+        )
+        if self.graphs:
+            line += (
+                f", {self.graphs} pipeline(s) x "
+                f"{self.graph_stages / self.graphs:.1f} stages "
+                f"({self.graph_fused} fused, stage p95 "
+                f"{_ms(self.stage_latency_p95)})"
+            )
+        return line
 
 
 class ShardTelemetry:
@@ -94,6 +131,12 @@ class ShardTelemetry:
         self._iterations_by_kind: "Counter[str]" = Counter()
         self._max_queue_depth = 0
         self._latencies: Deque[float] = deque(maxlen=LATENCY_RESERVOIR_SIZE)
+        self._graphs = 0
+        self._graph_stages = 0
+        self._graph_fused = 0
+        self._stage_latencies: Deque[float] = deque(
+            maxlen=LATENCY_RESERVOIR_SIZE
+        )
 
     # -- admission events (submitting threads) -----------------------------------
     def record_submitted(self, kind: str, queue_depth: int) -> None:
@@ -136,6 +179,25 @@ class ShardTelemetry:
         with self._lock:
             self._iterations_by_kind[kind] += int(iterations)
 
+    def record_graph(
+        self,
+        stages: int,
+        fused: int,
+        stage_latencies: Sequence[float],
+    ) -> None:
+        """Account one completed whole-pipeline job.
+
+        ``stages`` is the executed stage count, ``fused`` the fused
+        stages (overlapped pairs + associativity rewrites), and
+        ``stage_latencies`` the per-stage wall seconds feeding the stage
+        latency reservoir.
+        """
+        with self._lock:
+            self._graphs += 1
+            self._graph_stages += int(stages)
+            self._graph_fused += int(fused)
+            self._stage_latencies.extend(stage_latencies)
+
     def record_failed(self, latency: float) -> None:
         with self._lock:
             self._failed += 1
@@ -149,6 +211,7 @@ class ShardTelemetry:
     def snapshot(self, queue_depth: int, cache: CacheStats) -> ShardStats:
         with self._lock:
             sample = tuple(self._latencies)
+            stage_sample = tuple(self._stage_latencies)
             return ShardStats(
                 shard_id=self.shard_id,
                 submitted=self._submitted,
@@ -167,7 +230,23 @@ class ShardTelemetry:
                 cache=cache,
                 latency_sample=sample,
                 iterations_by_kind=dict(self._iterations_by_kind),
+                graphs=self._graphs,
+                graph_stages=self._graph_stages,
+                graph_fused=self._graph_fused,
+                stage_latency_p50=percentile(stage_sample, 0.50),
+                stage_latency_p95=percentile(stage_sample, 0.95),
+                stage_latency_sample=stage_sample,
             )
+
+    def describe(
+        self,
+        queue_depth: int = 0,
+        cache: Optional[CacheStats] = None,
+    ) -> str:
+        """Human-readable one-shard report (snapshot + format)."""
+        return self.snapshot(
+            queue_depth, cache if cache is not None else CacheStats()
+        ).describe()
 
 
 @dataclass(frozen=True)
@@ -191,6 +270,11 @@ class ServiceStats:
     cache: CacheStats
     shards: Tuple[ShardStats, ...]
     iterations_by_kind: Mapping[str, int] = field(default_factory=dict)
+    graphs: int = 0
+    graph_stages: int = 0
+    graph_fused: int = 0
+    stage_latency_p50: Optional[float] = None
+    stage_latency_p95: Optional[float] = None
 
     @classmethod
     def aggregate(cls, shards: Sequence[ShardStats]) -> "ServiceStats":
@@ -198,12 +282,14 @@ class ServiceStats:
         histogram: "Counter[int]" = Counter()
         iterations: "Counter[str]" = Counter()
         pooled: List[float] = []
+        pooled_stages: List[float] = []
         cache = CacheStats()
         for shard in shards:
             by_kind.update(shard.requests_by_kind)
             histogram.update(shard.batch_size_histogram)
             iterations.update(shard.iterations_by_kind)
             pooled.extend(shard.latency_sample)
+            pooled_stages.extend(shard.stage_latency_sample)
             cache = cache + shard.cache
         return cls(
             n_shards=len(shards),
@@ -223,6 +309,11 @@ class ServiceStats:
             cache=cache,
             shards=tuple(shards),
             iterations_by_kind=dict(iterations),
+            graphs=sum(s.graphs for s in shards),
+            graph_stages=sum(s.graph_stages for s in shards),
+            graph_fused=sum(s.graph_fused for s in shards),
+            stage_latency_p50=percentile(pooled_stages, 0.50),
+            stage_latency_p95=percentile(pooled_stages, 0.95),
         )
 
     @property
@@ -233,10 +324,6 @@ class ServiceStats:
 
     def describe(self) -> str:
         """Multi-line human-readable report (used by the serving demo)."""
-
-        def _ms(value: Optional[float]) -> str:
-            return "n/a" if value is None else f"{value * 1e3:.2f} ms"
-
         lines = [
             f"SolverService across {self.n_shards} shard(s)",
             (
@@ -273,6 +360,13 @@ class ServiceStats:
                 for kind, count in sorted(self.iterations_by_kind.items())
             )
             lines.append(f"  iterations:  {sweeps} (sweeps on warm plans)")
+        if self.graphs:
+            lines.append(
+                f"  pipelines:   {self.graphs} graph(s), "
+                f"{self.graph_stages} stage(s), {self.graph_fused} fused, "
+                f"stage latency p50 {_ms(self.stage_latency_p50)} / "
+                f"p95 {_ms(self.stage_latency_p95)}"
+            )
         if self.batch_size_histogram:
             histogram = ", ".join(
                 f"{size}x{count}"
@@ -280,9 +374,5 @@ class ServiceStats:
             )
             lines.append(f"  batch sizes: {histogram}")
         for shard in self.shards:
-            lines.append(
-                f"  shard {shard.shard_id}:     {shard.submitted} requests, "
-                f"{shard.batches} flushes, cache hit rate "
-                f"{shard.cache.hit_rate:.3f}, p95 {_ms(shard.latency_p95)}"
-            )
+            lines.append("  " + shard.describe())
         return "\n".join(lines)

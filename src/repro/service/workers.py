@@ -13,8 +13,13 @@ A worker's loop is: collect an admission window via the
 :class:`~repro.service.batcher.AdmissionBatcher`, split it into plan-keyed
 groups, and flush each group — multi-request matvec groups through
 ``Solver.solve_batch`` (riding the overlapped contraflow pairing), every
-other group member individually through ``Solver.solve``.  All failures
-resolve futures; the worker thread itself never dies on a request error.
+other group member individually through ``Solver.solve``.  Whole-pipeline
+jobs (requests carrying a :class:`~repro.service.request.GraphJob`)
+compile and execute through a shard-local
+:class:`~repro.graph.compiler.GraphCompiler` bound to the shard's private
+solver, so every stage plan of a routed graph compiles once per service
+and re-submissions execute with zero plan builds.  All failures resolve
+futures; the worker thread itself never dies on a request error.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import List, Optional
 
 from ..api.solver import Solver
 from ..errors import DeadlineExceededError, ServiceClosedError
+from ..graph.compiler import GraphCompiler
 from .backpressure import BoundedRequestQueue
 from .batcher import AdmissionBatcher
 from .request import SolveRequest
@@ -165,6 +171,9 @@ class ShardWorker:
         Telemetry is recorded *before* the future resolves: resolution
         wakes the caller, who may snapshot stats straight away.
         """
+        if request.graph is not None:
+            self._execute_graph(request)
+            return
         try:
             solution = self.solver.solve(
                 request.kind, *request.operands, options=options, **request.kwargs
@@ -176,3 +185,36 @@ class ShardWorker:
         self.telemetry.record_completed(request.latency())
         self._record_iterations(request.kind, solution)
         request.future.set_result(solution)
+
+    def _execute_graph(self, request: SolveRequest) -> None:
+        """Compile and run one whole-pipeline job on this shard's solver.
+
+        Compilation resolves every stage plan through the shard's private
+        plan cache, so a re-submitted graph is pure warm execution; the
+        per-graph telemetry (stage count, fused stages, per-stage
+        latencies) feeds the fleet snapshot's pipeline columns.
+        """
+        job = request.graph
+        assert job is not None
+        try:
+            # The request's options (when given) are the base the routing
+            # keys were derived from; compiling under the same base keeps
+            # the home-shard zero-recompile guarantee for graphs that
+            # carry per-request options.
+            compiler = GraphCompiler(
+                self.solver, fuse=job.fuse, options=request.options
+            )
+            result = compiler.run(job.graph)
+        except Exception as exc:
+            self.telemetry.record_failed(request.latency())
+            request.fail(exc)
+            return
+        self.telemetry.record_completed(request.latency())
+        self.telemetry.record_graph(
+            stages=len(result.solutions),
+            fused=result.fused_pairs + result.fused_rewrites,
+            stage_latencies=result.stage_seconds,
+        )
+        for kind, solution in zip(result.kinds, result.solutions):
+            self._record_iterations(kind, solution)
+        request.future.set_result(result)

@@ -1,0 +1,585 @@
+"""Tests for the typed-problem / pipeline-graph layer (``repro.graph``).
+
+Covers the api_redesign acceptance criteria at graph level: typed
+problems derive the same plan keys as their string spellings, diamond
+DAGs dedup shared stages to one plan build, cycles are rejected at build
+time, cross-stage shape mismatches fail at compile time (not run time),
+a warm 3-stage pipeline re-executes with zero plan builds, the
+matmul→matvec fusion rewrite, same-plan matvec stage pairing, and the
+composition sugar (``@``, ``.then()``, LU factor refs, kwarg refs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ArraySpec, ExecutionOptions, Solver
+from repro.api.registry import get_handler
+from repro.errors import (
+    GraphCycleError,
+    GraphError,
+    ProblemKindError,
+    ShapeError,
+)
+from repro.graph import (
+    CG,
+    LU,
+    Graph,
+    GraphCompiler,
+    Jacobi,
+    MatMul,
+    MatVec,
+    Power,
+    Problem,
+    Ref,
+    Refine,
+    SOR,
+    Sparse,
+    Triangular,
+    problem_types,
+)
+from repro.instrumentation import counters
+from repro.iterative import ConvergenceCriteria
+
+W = 4
+
+
+@pytest.fixture
+def solver() -> Solver:
+    return Solver(ArraySpec(W))
+
+
+def _spd(rng, n: int) -> np.ndarray:
+    a = rng.normal(size=(n, n))
+    matrix = (a + a.T) / 2.0
+    return matrix + (np.abs(matrix).sum(axis=1).max() + 1.0) * np.eye(n)
+
+
+# --------------------------------------------------------------------------- #
+# the kind -> problem class mapping and kind errors
+# --------------------------------------------------------------------------- #
+class TestProblemTypes:
+    def test_mapping_is_stable_and_sorted(self):
+        types = problem_types()
+        assert list(types) == sorted(types)
+        assert list(types) == list(problem_types())  # stable across calls
+
+    def test_every_typed_kind_is_registered(self, solver):
+        registered = set(solver.kinds())
+        for kind, cls in problem_types().items():
+            assert kind in registered
+            assert cls.kind == kind
+
+    def test_solver_exposes_the_mapping(self, solver):
+        assert solver.problem_types() == problem_types()
+
+    def test_handlers_link_back_to_problem_classes(self):
+        assert get_handler("matvec").problem_class is MatVec
+        assert get_handler("sor").problem_class is SOR
+        # Baselines are deliberately string-only.
+        assert get_handler("prt").problem_class is None
+        assert get_handler("gauss_seidel").problem_class is None
+
+    def test_unknown_kind_suggests_nearest(self, solver, rng):
+        with pytest.raises(ProblemKindError, match="did you mean 'matvec'"):
+            solver.solve("matvce", rng.normal(size=(4, 4)), rng.normal(size=4))
+        with pytest.raises(ProblemKindError, match="did you mean 'jacobi'"):
+            get_handler("jacobbi")
+
+    def test_unknown_kind_without_near_match_lists_kinds(self):
+        with pytest.raises(ProblemKindError, match="registered kinds"):
+            get_handler("zzzzzzzz")
+
+
+# --------------------------------------------------------------------------- #
+# typed problems: plan keys and options overrides
+# --------------------------------------------------------------------------- #
+class TestTypedPlanKeys:
+    def test_typed_and_string_plan_keys_match(self, solver, rng):
+        a = rng.normal(size=(10, 7))
+        x = rng.normal(size=7)
+        assert solver.plan_key(MatVec(a, x)) == solver.plan_key("matvec", a, x)
+
+    def test_overrides_ride_in_the_key(self, solver, rng):
+        a = rng.normal(size=(8, 8))
+        b = rng.normal(size=8)
+        plain = solver.plan_key(SOR(a, b))
+        relaxed = solver.plan_key(SOR(a, b, omega=1.5))
+        assert plain[3].sor_omega == 1.0
+        assert relaxed[3].sor_omega == 1.5
+        assert plain != relaxed
+        criteria = ConvergenceCriteria(atol=1e-3, max_iter=7)
+        assert solver.plan_key(Jacobi(a, b, criteria=criteria))[3].criteria == criteria
+
+    def test_standalone_plan_key_matches_solver_key(self, solver, rng):
+        a = rng.normal(size=(6, 9))
+        x = rng.normal(size=9)
+        problem = MatVec(a, x, overlapped=True)
+        assert problem.plan_key(W, solver.options) == solver.plan_key(problem)
+
+    def test_problem_with_refs_rejects_single_solve(self, solver, rng):
+        a = rng.normal(size=(6, 6))
+        chained = MatVec(a, MatVec(a, rng.normal(size=6)))
+        with pytest.raises(GraphError, match="references other pipeline stages"):
+            solver.solve(chained)
+
+    def test_typed_solve_rejects_extra_operands(self, solver, rng):
+        a = rng.normal(size=(6, 6))
+        with pytest.raises(TypeError, match="carry their own operands"):
+            solver.solve(MatVec(a, rng.normal(size=6)), a)
+
+
+# --------------------------------------------------------------------------- #
+# graph construction: sugar, naming, validation
+# --------------------------------------------------------------------------- #
+class TestGraphConstruction:
+    def test_matmul_at_vector_builds_matvec_node(self, rng):
+        a = rng.normal(size=(5, 5))
+        b = rng.normal(size=(5, 5))
+        x = rng.normal(size=5)
+        y = MatMul(a, b) @ x
+        assert isinstance(y, MatVec)
+        graph = Graph(y=y)
+        assert [node.kind for node in graph.nodes] == ["matmul", "matvec"]
+        assert graph.outputs[0][0] == "y"
+
+    def test_ndarray_at_problem_builds_matvec_node(self, rng):
+        a = rng.normal(size=(5, 5))
+        inner = MatVec(a, rng.normal(size=5))
+        outer = a @ inner
+        assert isinstance(outer, MatVec)
+        assert isinstance(outer.x, Ref)
+        assert outer.x.node is inner
+
+    def test_matmul_at_matrix_chains_matmuls(self, rng):
+        a, b, c = (rng.normal(size=(4, 4)) for _ in range(3))
+        chained = MatMul(a, b) @ c
+        assert isinstance(chained, MatMul)
+
+    def test_ndarray_at_matrix_producer_chains_matmuls(self, rng):
+        """The sugar is symmetric: ndarray @ MatMul works like MatMul @ ndarray."""
+        a, b, c = (rng.normal(size=(4, 4)) for _ in range(3))
+        chained = a @ MatMul(b, c)
+        assert isinstance(chained, MatMul)
+        result = GraphCompiler(Solver(ArraySpec(W))).run(Graph(y=chained))
+        assert np.allclose(result.output("y"), a @ (b @ c))
+
+    def test_then_binds_matrix_and_sequences(self, rng):
+        matrix = _spd(rng, 6)
+        b = rng.normal(size=6)
+        refine = LU(matrix).then(Refine(b))
+        assert refine.matrix is matrix
+        graph = Graph(refine)
+        assert [node.kind for node in graph.nodes] == ["lu", "refine"]
+        # The ordering edge is real: refine sits a level below the LU.
+        assert graph.levels == (0, 1)
+
+    def test_then_without_forwardable_matrix_raises(self, rng):
+        with pytest.raises(GraphError, match="no matrix bound"):
+            Graph(Refine(rng.normal(size=6)))
+
+    def test_reusing_a_partial_node_across_then_calls_raises(self, rng):
+        """Regression: a second then() must not silently keep the first
+        predecessor's matrix while sequencing after the second."""
+        b = rng.normal(size=6)
+        partial = Refine(b)
+        LU(_spd(rng, 6)).then(partial)
+        with pytest.raises(GraphError, match="already sequenced"):
+            LU(_spd(rng, 6)).then(partial)
+
+    def test_explicitly_bound_successor_can_still_be_sequenced(self, rng):
+        matrix = _spd(rng, 6)
+        explicit = Refine(matrix, rng.normal(size=6))
+        sequenced = LU(matrix).then(explicit)
+        assert sequenced is explicit
+        assert len(Graph(sequenced)) == 2
+
+    def test_string_call_missing_matrix_keeps_shape_error(self, rng):
+        """Regression: the string shim must not leak the pipeline-partial
+        form — a missing matrix stays a ShapeError, as in the legacy API."""
+        solver = Solver(ArraySpec(W))
+        with pytest.raises(ShapeError, match="square system matrix"):
+            solver.solve("jacobi", rng.normal(size=6))
+        with pytest.raises(ShapeError, match="square system matrix"):
+            solver.solve("refine", rng.normal(size=6))
+
+    def test_lu_factor_refs_feed_triangular(self, solver, rng):
+        matrix = _spd(rng, 6)
+        b = rng.normal(size=6)
+        lu = LU(matrix)
+        forward = Triangular(lu.lower, b, name="forward")
+        backward = Triangular(lu.upper, forward, lower=False, name="backward")
+        result = GraphCompiler(solver).run(Graph(backward))
+        assert np.allclose(result.output("backward"), np.linalg.solve(matrix, b))
+
+    def test_consuming_factor_pair_without_selection_fails(self, rng):
+        lu = LU(_spd(rng, 6))
+        with pytest.raises(GraphError, match="lower/.upper"):
+            Graph(Triangular(Ref(lu), rng.normal(size=6)))
+
+    def test_cycle_rejected_at_build_time(self, rng):
+        a = rng.normal(size=(5, 5))
+        first = MatVec(a, rng.normal(size=5))
+        second = MatVec(a, first)
+        first.x = Ref(second)  # close the loop
+        before = counters.snapshot()
+        with pytest.raises(GraphCycleError):
+            Graph(second)
+        delta = counters.delta(before)
+        assert delta.plan_builds == 0 and delta.plan_executions == 0
+
+    def test_shape_mismatch_fails_at_build_not_run(self, rng):
+        producer = MatVec(rng.normal(size=(8, 8)), rng.normal(size=8))
+        before = counters.snapshot()
+        with pytest.raises(ShapeError, match="length 6"):
+            Graph(MatVec(rng.normal(size=(4, 6)), producer))
+        delta = counters.delta(before)
+        # Nothing compiled, nothing executed: the mismatch is a
+        # build/compile-time error, not a run-time one.
+        assert delta.plan_builds == 0 and delta.plan_executions == 0
+
+    def test_matmul_inner_dimension_checked_across_stages(self, rng):
+        c = MatMul(rng.normal(size=(4, 5)), rng.normal(size=(5, 6)))
+        with pytest.raises(ShapeError, match="cannot multiply"):
+            Graph(MatMul(c, rng.normal(size=(7, 3))))
+
+    def test_duplicate_names_rejected(self, rng):
+        a = rng.normal(size=(4, 4))
+        one = MatVec(a, rng.normal(size=4), name="stage")
+        two = MatVec(a, one, name="stage")
+        with pytest.raises(GraphError, match="duplicate node name"):
+            Graph(two)
+
+    def test_auto_names_step_around_user_names(self, rng):
+        """Regression: an explicit name that collides with a would-be
+        auto name must not reject a valid graph."""
+        a = rng.normal(size=(4, 4))
+        inner = MatVec(a, rng.normal(size=4), name="matvec_1")
+        outer = MatVec(a, inner)  # would auto-name to matvec_1
+        graph = Graph(outer)
+        assert len(set(graph.names)) == 2
+        assert "matvec_1" in graph.names
+
+    def test_keyword_output_names_do_not_mutate_nodes(self, rng):
+        """Regression: building a graph must not rename shared problems."""
+        a = rng.normal(size=(4, 4))
+        problem = MatVec(a, rng.normal(size=4))
+        first = Graph(y=problem)
+        second = Graph(z=problem)
+        assert problem.name is None
+        assert first.outputs[0][0] == "y"
+        assert second.outputs[0][0] == "z"
+        assert first.names[0] == "y"  # stage naming still sees the kwarg
+
+    def test_graph_needs_an_output(self):
+        with pytest.raises(GraphError, match="at least one output"):
+            Graph()
+
+    def test_describe_lists_levels_and_deps(self, rng):
+        a = rng.normal(size=(5, 5))
+        y = (MatMul(a, a) @ rng.normal(size=5)).named("y")
+        text = Graph(y).describe()
+        assert "matmul" in text and "y: matvec" in text and "outputs: y" in text
+
+
+# --------------------------------------------------------------------------- #
+# compilation: dedup, warm re-execution, pairing, fusion
+# --------------------------------------------------------------------------- #
+class TestGraphCompiler:
+    def test_diamond_dedups_to_one_plan_build(self, rng):
+        n = 8
+        a, b, c, d = (rng.normal(size=(n, n)) for _ in range(4))
+        x = rng.normal(size=n)
+        source = MatVec(a, x, name="source")
+        left = MatVec(b, source, name="left")
+        right = MatVec(c, source, name="right")
+        sink = MatVec(d, left, b=right, name="sink")
+        solver = Solver(ArraySpec(W))
+        before = counters.snapshot()
+        program = GraphCompiler(solver).compile(Graph(sink))
+        delta = counters.delta(before)
+        # Four same-shape matvec stages share one compiled plan.
+        assert delta.plan_builds == 1
+        assert program.compile_plan_builds == 1
+        assert len({id(stage.plan) for stage in program.stages}) == 1
+
+    def test_independent_same_plan_stages_pair_bit_identically(self, rng):
+        n = 8
+        a, b, c, d = (rng.normal(size=(n, n)) for _ in range(4))
+        x = rng.normal(size=n)
+        source = MatVec(a, x, name="source")
+        left = MatVec(b, source, name="left")
+        right = MatVec(c, source, name="right")
+        sink = MatVec(d, left, b=right, name="sink")
+        solver = Solver(ArraySpec(W))
+        before = counters.snapshot()
+        program = GraphCompiler(solver).compile(Graph(sink))
+        assert len(program.pairs) == 1  # left + right share one array run
+        result = program.run()
+        assert counters.delta(before).fused_matvec_pairs == 1
+        assert result.fused_pairs == 1
+        assert result["left"].stats.get("paired") is True
+
+        reference = Solver(ArraySpec(W))
+        s = reference.solve("matvec", a, x).values
+        l = reference.solve("matvec", b, s).values
+        r = reference.solve("matvec", c, s).values
+        expected = reference.solve("matvec", d, l, r).values
+        assert np.array_equal(result.output("sink"), expected)
+
+    def test_pairing_defers_until_both_partners_inputs_exist(self, rng):
+        """Regression: a pair member's deps may follow its partner in the
+        graph's topological order; execution must walk dependency levels
+        so the shared run never resolves an unexecuted stage's output."""
+        n = 8
+        matrix = _spd(rng, n)
+        b = rng.normal(size=n)
+        a, a2 = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+        x = rng.normal(size=n)
+        # Both level-1 matvecs share a plan, but their level-0 deps
+        # (jacobi / matmul) interleave in topological order.
+        s = MatVec(a, Jacobi(matrix, b), name="s")
+        p = MatVec(MatMul(a, a2, name="prod"), x, name="p")
+        solver = Solver(ArraySpec(W))
+        result = GraphCompiler(solver).run(Graph(s, p))
+        assert result.fused_pairs == 1
+        reference = Solver(ArraySpec(W))
+        j = reference.solve("jacobi", matrix, b).values
+        prod = reference.solve("matmul", a, a2).values
+        assert np.array_equal(result.output("s"), reference.solve("matvec", a, j).values)
+        assert np.array_equal(result.output("p"), reference.solve("matvec", prod, x).values)
+
+    def test_pairing_can_be_disabled(self, rng):
+        n = 6
+        a, b = (rng.normal(size=(n, n)) for _ in range(2))
+        x = rng.normal(size=n)
+        left = MatVec(a, x, name="l")
+        right = MatVec(b, x, name="r")
+        solver = Solver(ArraySpec(W))
+        program = GraphCompiler(solver, pair=False).compile(Graph(left, right))
+        assert program.pairs == ()
+
+    def test_warm_three_stage_graph_reports_zero_plan_builds(self, rng):
+        n = 8
+        a = rng.normal(size=(n, n))
+        b = rng.normal(size=(n, n))
+        z = rng.normal(size=n)
+        matrix = _spd(rng, n)
+        product = MatMul(a, b, name="product")
+        projected = MatVec(product, z, name="projected")
+        refined = Refine(matrix, projected, name="refined")
+        solver = Solver(ArraySpec(W))
+        compiler = GraphCompiler(solver)
+
+        cold = compiler.run(Graph(refined))
+        assert not cold.warm
+        assert cold.compile_plan_builds + cold.plan_builds > 0
+
+        before = counters.snapshot()
+        warm = compiler.run(Graph(refined))
+        delta = counters.delta(before)
+        assert warm.warm
+        assert warm.plan_builds == 0 and warm.compile_plan_builds == 0
+        assert delta.plan_builds == 0
+        assert delta.transform_constructions == 0
+        assert np.array_equal(warm.output("refined"), cold.output("refined"))
+
+    def test_three_stage_graph_bit_identical_to_stage_by_stage(self, rng):
+        n = 8
+        a = rng.normal(size=(n, n))
+        b = rng.normal(size=(n, n))
+        z = rng.normal(size=n)
+        matrix = _spd(rng, n)
+        product = MatMul(a, b, name="product")
+        projected = MatVec(product, z, name="projected")
+        refined = Refine(matrix, projected, name="refined")
+        result = GraphCompiler(Solver(ArraySpec(W))).run(Graph(refined))
+
+        reference = Solver(ArraySpec(W))
+        c = reference.solve("matmul", a, b).values
+        y = reference.solve("matvec", c, z).values
+        x = reference.solve("refine", matrix, y).values
+        assert np.array_equal(result.output("refined"), x)
+        assert np.array_equal(result["product"].values, c)
+        assert np.array_equal(result["projected"].values, y)
+        assert set(result.residuals) >= {"refined"}
+
+    def test_fusion_rewrites_exclusive_matmul_chain(self, rng):
+        n = 6
+        a, b, c = (rng.normal(size=(n, n)) for _ in range(3))
+        x = rng.normal(size=n)
+        y = (MatMul(a, MatMul(b, c)) @ x).named("y")
+        solver = Solver(ArraySpec(W))
+        program = GraphCompiler(solver, fuse=True).compile(Graph(y))
+        assert program.fused_rewrites == 2
+        assert [stage.kind for stage in program.stages] == ["matvec"] * 3
+        result = program.run()
+        assert np.allclose(result.output("y"), a @ (b @ (c @ x)))
+
+    def test_fusion_skips_matmul_that_is_an_output(self, rng):
+        n = 5
+        a, b = (rng.normal(size=(n, n)) for _ in range(2))
+        x = rng.normal(size=n)
+        product = MatMul(a, b, name="product")
+        y = MatVec(product, x, name="y")
+        program = GraphCompiler(Solver(ArraySpec(W)), fuse=True).compile(
+            Graph(product, y)
+        )
+        assert program.fused_rewrites == 0
+        assert [stage.kind for stage in program.stages] == ["matmul", "matvec"]
+
+    def test_fusion_skips_matmul_with_ordering_consumers(self, rng):
+        """Regression: a matmul referenced by a .then() ordering edge must
+        keep executing — fusing it away would resurrect it through the
+        stale edge (and collide on its inherited name)."""
+        n = 5
+        a, b, c = (rng.normal(size=(n, n)) for _ in range(3))
+        x, z = rng.normal(size=n), rng.normal(size=n)
+        product = MatMul(a, b, name="product")
+        projected = MatVec(product, x, name="projected")
+        sequenced = product.then(MatVec(c, z, name="sequenced"))
+        program = GraphCompiler(Solver(ArraySpec(W)), fuse=True).compile(
+            Graph(projected, sequenced)
+        )
+        assert program.fused_rewrites == 0
+        assert sorted(stage.kind for stage in program.stages) == [
+            "matmul", "matvec", "matvec",
+        ]
+        result = program.run()
+        reference = Solver(ArraySpec(W))
+        prod = reference.solve("matmul", a, b).values
+        assert np.array_equal(
+            result.output("projected"),
+            reference.solve("matvec", prod, x).values,
+        )
+
+    def test_fusion_skips_matmul_with_accumulator(self, rng):
+        n = 5
+        a, b, e = (rng.normal(size=(n, n)) for _ in range(3))
+        y = MatMul(a, b, e) @ rng.normal(size=n)
+        program = GraphCompiler(Solver(ArraySpec(W)), fuse=True).compile(Graph(y))
+        assert program.fused_rewrites == 0
+
+    def test_fusion_skips_matmul_with_node_options(self, rng):
+        """An explicit per-node option pins the stage; fusing would erase
+        it silently, so such matmuls stay intact."""
+        n = 5
+        a, b = (rng.normal(size=(n, n)) for _ in range(2))
+        pinned = MatMul(a, b, options=ExecutionOptions(backend="simulate"))
+        program = GraphCompiler(Solver(ArraySpec(W)), fuse=True).compile(
+            Graph(MatVec(pinned, rng.normal(size=n), name="y"))
+        )
+        assert program.fused_rewrites == 0
+        matmul_stage = [s for s in program.stages if s.kind == "matmul"][0]
+        assert matmul_stage.plan.key[3].backend == "simulate"
+
+    def test_fusion_reaches_matmuls_cloned_by_remapping(self, rng):
+        """Regression: a matmul cloned during remapping (its .after edge
+        pointed at a rewritten node) must still fuse when exclusive."""
+        n = 5
+        a, b, c, d = (rng.normal(size=(n, n)) for _ in range(4))
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        first = MatVec(MatMul(a, b), x, name="first")
+        second_mm = first.then(MatMul(c, d))
+        out = MatVec(second_mm, y, name="out")
+        program = GraphCompiler(Solver(ArraySpec(W)), fuse=True).compile(
+            Graph(first, out)
+        )
+        assert program.fused_rewrites == 2
+        assert all(stage.kind == "matvec" for stage in program.stages)
+        result = program.run()
+        assert np.allclose(result.output("first"), a @ (b @ x))
+        assert np.allclose(result.output("out"), c @ (d @ y))
+
+    def test_fusion_off_by_default_preserves_bit_identity(self, rng):
+        n = 6
+        a, b = (rng.normal(size=(n, n)) for _ in range(2))
+        x = rng.normal(size=n)
+        y = (MatMul(a, b) @ x).named("y")
+        result = GraphCompiler(Solver(ArraySpec(W))).run(Graph(y))
+        reference = Solver(ArraySpec(W))
+        c = reference.solve("matmul", a, b).values
+        expected = reference.solve("matvec", c, x).values
+        assert np.array_equal(result.output("y"), expected)
+
+    def test_kwarg_refs_flow_between_stages(self, rng):
+        n = 6
+        matrix = _spd(rng, n)
+        b = rng.normal(size=n)
+        start = Jacobi(matrix, b, name="start")
+        eig = Power(matrix, x0=start, name="eig")
+        result = GraphCompiler(Solver(ArraySpec(W))).run(Graph(eig))
+        reference = Solver(ArraySpec(W))
+        x0 = reference.solve("jacobi", matrix, b).values
+        expected = reference.solve("power", matrix, x0=x0)
+        assert np.array_equal(result.output("eig"), expected.values)
+        assert result["eig"].stats["eigenvalue"] == expected.stats["eigenvalue"]
+
+    def test_program_describe_reports_stages_and_pairs(self, rng):
+        n = 6
+        a, b = (rng.normal(size=(n, n)) for _ in range(2))
+        x = rng.normal(size=n)
+        graph = Graph(
+            MatVec(a, x, name="left"), MatVec(b, x, name="right")
+        )
+        program = GraphCompiler(Solver(ArraySpec(W))).compile(graph)
+        text = program.describe()
+        assert "2 stage(s)" in text
+        assert "paired with" in text
+        result = program.run()
+        described = result.describe()
+        assert "overlapped pair" in described and "left" in described
+
+    def test_result_lookup_errors_name_known_stages(self, rng):
+        a = rng.normal(size=(4, 4))
+        result = GraphCompiler(Solver(ArraySpec(W))).run(
+            Graph(MatVec(a, rng.normal(size=4), name="only"))
+        )
+        with pytest.raises(KeyError, match="only"):
+            result["missing"]
+        with pytest.raises(KeyError, match="only"):
+            result.output("missing")
+        assert result.values is result.output("only")
+
+
+# --------------------------------------------------------------------------- #
+# the string shim
+# --------------------------------------------------------------------------- #
+class TestStringShim:
+    def test_string_solve_builds_typed_problem_under_the_hood(self, rng):
+        # Keyword execution args that only the typed constructors accept
+        # now work through the string spelling too (the shim).
+        solver = Solver(ArraySpec(W))
+        matrix = _spd(rng, 6)
+        b = rng.normal(size=6)
+        typed = Solver(ArraySpec(W)).solve(SOR(matrix, b, omega=1.3))
+        shimmed = solver.solve("sor", matrix, b, options=ExecutionOptions(sor_omega=1.3))
+        assert np.array_equal(typed.values, shimmed.values)
+
+    def test_solve_batch_accepts_problem_class(self, rng):
+        solver = Solver(ArraySpec(W))
+        a = rng.normal(size=(6, 6))
+        batch = [(a, rng.normal(size=6)) for _ in range(3)]
+        typed = solver.solve_batch(MatVec, batch)
+        legacy = Solver(ArraySpec(W)).solve_batch("matvec", batch)
+        for lhs, rhs in zip(typed, legacy):
+            assert np.array_equal(lhs.values, rhs.values)
+
+    def test_malformed_string_calls_report_constructor_diagnostics(self, rng):
+        """Regression: typed-constructor errors must surface directly, not
+        be swallowed into whatever the legacy path does with bad input."""
+        solver = Solver(ArraySpec(W))
+        a = rng.normal(size=(6, 6))
+        with pytest.raises(TypeError, match="options must be ExecutionOptions"):
+            solver.solve("matvec", a, rng.normal(size=6), options={"backend": "simulate"})
+        with pytest.raises(TypeError):
+            solver.solve("matvec", a)  # missing x: clear arity error
+
+    def test_baselines_still_dispatch_without_typed_classes(self, rng):
+        solver = Solver(ArraySpec(W))
+        matrix = rng.normal(size=(W, W))
+        x = rng.normal(size=W)
+        solution = solver.solve("prt", matrix, x)
+        assert solution.kind == "prt"
+        assert "prt" not in problem_types()

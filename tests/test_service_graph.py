@@ -1,0 +1,219 @@
+"""Whole-pipeline jobs through the serving layer.
+
+Acceptance: the 3-stage pipeline (matmul → matvec → refine) executes
+through ``SolverService`` bit-identically to stage-by-stage ``Solver``
+calls, re-submitted same-shaped graphs run shard-local with **zero** plan
+builds after warmup, graph requests carry per-graph telemetry (stage
+counts, fused stages, stage latencies) into the fleet snapshot, and a
+failing graph resolves only its own future.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ArraySpec, Solver
+from repro.errors import GraphCycleError, ShapeError
+from repro.graph import Graph, MatMul, MatVec, Ref, Refine
+from repro.instrumentation import counters
+from repro.service import SolverService
+
+W = 4
+N = 8
+
+
+def _spd(rng, n: int) -> np.ndarray:
+    a = rng.normal(size=(n, n))
+    matrix = (a + a.T) / 2.0
+    return matrix + (np.abs(matrix).sum(axis=1).max() + 1.0) * np.eye(n)
+
+
+@pytest.fixture
+def pipeline(rng):
+    """The acceptance pipeline: matmul -> matvec -> refine, plus operands."""
+    a = rng.normal(size=(N, N))
+    b = rng.normal(size=(N, N))
+    z = rng.normal(size=N)
+    matrix = _spd(rng, N)
+    product = MatMul(a, b, name="product")
+    projected = MatVec(product, z, name="projected")
+    refined = Refine(matrix, projected, name="refined")
+    return Graph(refined), (a, b, z, matrix)
+
+
+class TestServiceGraphs:
+    def test_three_stage_pipeline_bit_identical_to_solver(self, pipeline):
+        graph, (a, b, z, matrix) = pipeline
+        with SolverService(ArraySpec(W), n_shards=4) as service:
+            result = service.solve_graph(graph)
+        reference = Solver(ArraySpec(W))
+        c = reference.solve("matmul", a, b).values
+        y = reference.solve("matvec", c, z).values
+        x = reference.solve("refine", matrix, y).values
+        assert np.array_equal(result.output("refined"), x)
+        assert np.array_equal(result["product"].values, c)
+        assert np.array_equal(result["projected"].values, y)
+
+    def test_warm_resubmission_reports_zero_plan_builds(self, pipeline):
+        graph, _operands = pipeline
+        with SolverService(ArraySpec(W), n_shards=4) as service:
+            cold = service.solve_graph(graph)
+            assert not cold.warm
+            before = counters.snapshot()
+            results = [service.solve_graph(graph) for _ in range(5)]
+            delta = counters.delta(before)
+            stats = service.stats()
+        # Every re-submission landed on the home shard's warm plans: the
+        # graph executed with zero plan or transform construction.
+        assert delta.plan_builds == 0
+        assert delta.transform_constructions == 0
+        for warm in results:
+            assert warm.warm
+            assert warm.plan_builds == 0 and warm.compile_plan_builds == 0
+            assert np.array_equal(
+                warm.output("refined"), cold.output("refined")
+            )
+        assert stats.graphs == 6
+
+    def test_same_graph_routes_to_one_home_shard(self, pipeline):
+        graph, _operands = pipeline
+        with SolverService(ArraySpec(W), n_shards=4) as service:
+            for _ in range(4):
+                service.solve_graph(graph)
+            stats = service.stats()
+        homes = [shard for shard in stats.shards if shard.graphs]
+        assert len(homes) == 1
+        assert homes[0].graphs == 4
+
+    def test_graph_telemetry_reaches_fleet_snapshot(self, pipeline, rng):
+        graph, _operands = pipeline
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            service.solve_graph(graph)
+            # A second, pairable graph: two independent same-shape matvecs.
+            a, b = rng.normal(size=(N, N)), rng.normal(size=(N, N))
+            x = rng.normal(size=N)
+            paired = Graph(
+                MatVec(a, x, name="left"), MatVec(b, x, name="right")
+            )
+            service.solve_graph(paired)
+            stats = service.stats()
+        assert stats.graphs == 2
+        assert stats.graph_stages == 5
+        assert stats.graph_fused == 1  # the left/right overlapped pair
+        assert stats.stage_latency_p50 is not None
+        described = stats.describe()
+        assert "pipelines:" in described
+        assert "2 graph(s), 5 stage(s), 1 fused" in described
+        home = [shard for shard in stats.shards if shard.graphs]
+        assert "pipeline" in home[0].describe()
+
+    def test_fused_submission_shares_home_shard_and_converges(self, pipeline):
+        graph, (a, b, z, _matrix) = pipeline
+        with SolverService(ArraySpec(W), n_shards=4) as service:
+            plain = service.solve_graph(graph)
+            fused = service.solve_graph(graph, fuse=True)
+            stats = service.stats()
+        assert fused.fused_rewrites == 1
+        assert np.allclose(
+            fused.output("refined"), plain.output("refined")
+        )
+        homes = [shard for shard in stats.shards if shard.graphs]
+        assert len(homes) == 1  # routing uses the unfused stage keys
+
+    def test_per_request_options_reach_graph_execution(self, pipeline):
+        """Regression: submit_graph's options must govern execution (and
+        hence match the routing keys), not just the shard routing."""
+        from repro.api import ExecutionOptions
+        from repro.iterative import ConvergenceCriteria
+
+        graph, _operands = pipeline
+        capped = ExecutionOptions(
+            criteria=ConvergenceCriteria(atol=1e-300, max_iter=1)
+        )
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            default_run = service.solve_graph(graph)
+            capped_run = service.solve_graph(graph, options=capped)
+            warm = service.solve_graph(graph, options=capped)
+        assert capped_run["refined"].stats["iterations"] == 1
+        assert default_run["refined"].stats["iterations"] > 1
+        # The option-carrying graph keeps the zero-recompile guarantee.
+        assert warm.warm
+
+    def test_invalid_graphs_fail_synchronously_at_submit(self, rng):
+        a = rng.normal(size=(N, N))
+        x = rng.normal(size=N)
+        first = MatVec(a, x)
+        second = MatVec(a, first)
+        first.x = Ref(second)  # cycle
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            with pytest.raises(GraphCycleError):
+                service.submit_graph(second)
+            with pytest.raises(ShapeError):
+                service.submit_graph(
+                    MatVec(rng.normal(size=(4, 6)), MatVec(a, x))
+                )
+            # The service stays healthy for well-formed work.
+            ok = service.solve(MatVec(a, x))
+        assert ok.kind == "matvec"
+
+    def test_failing_graph_resolves_only_its_own_future(self, pipeline, rng):
+        graph, _operands = pipeline
+        # Build-time checks cannot see a singular diagonal: jacobi's
+        # nonzero-diagonal requirement only surfaces at execution, inside
+        # the home shard, and must stay isolated to the failing request.
+        from repro.graph import Jacobi
+
+        singular = np.ones((N, N)) - np.eye(N) * 0.0
+        singular[0, 0] = 0.0
+        bad = Graph(Jacobi(singular, rng.normal(size=N)))
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            bad_future = service.submit_graph(bad)
+            good = service.solve_graph(graph)
+            with pytest.raises(ShapeError, match="diagonal"):
+                bad_future.result()
+            stats = service.stats()
+        assert good.output("refined") is not None
+        assert stats.failed == 1
+        assert stats.completed >= 1
+
+    def test_mixed_typed_and_graph_load_across_clients(self, pipeline, rng):
+        """A small soak: graphs, typed solves and string solves interleaved."""
+        import threading
+
+        graph, (a, b, z, matrix) = pipeline
+        reference = Solver(ArraySpec(W))
+        expected_y = reference.solve(
+            "matvec", reference.solve("matmul", a, b).values, z
+        ).values
+        expected_mv = reference.solve("matvec", a, z).values
+        failures = []
+
+        def client(index: int, service: SolverService) -> None:
+            try:
+                for round_index in range(5):
+                    if (index + round_index) % 2:
+                        result = service.solve_graph(graph)
+                        assert np.array_equal(
+                            result["projected"].values, expected_y
+                        )
+                    else:
+                        solution = service.solve(MatVec(a, z))
+                        assert np.array_equal(solution.values, expected_mv)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                failures.append(exc)
+
+        with SolverService(ArraySpec(W), n_shards=4) as service:
+            threads = [
+                threading.Thread(target=client, args=(index, service))
+                for index in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+        assert not failures
+        assert stats.failed == 0
+        assert stats.graphs == 15  # 6 clients x 5 rounds, half graphs
+        assert stats.completed == 30
