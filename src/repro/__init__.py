@@ -102,6 +102,16 @@ from .graph import (
 )
 from .iterative import ConvergenceCriteria, IterativeResult
 from .matrices.banded import BandMatrix
+from .nn import (
+    MLP,
+    Bias,
+    Dense,
+    Dequantize,
+    QuantParams,
+    Quantize,
+    QuantizedMLP,
+    Relu,
+)
 from .matrices.blocks import BlockGrid
 from .service import ServiceStats, SolverService
 from .systolic.feedback import ShiftRegisterFeedback, SpiralFeedbackTopology
@@ -116,6 +126,7 @@ __all__ = [
     "BackendError",
     "BandMatrix",
     "BandwidthError",
+    "Bias",
     "BlockGrid",
     "CG",
     "ConvergenceCriteria",
@@ -123,6 +134,8 @@ __all__ = [
     "DBTByRowsTransform",
     "DBTTransposedByRowsTransform",
     "DeadlineExceededError",
+    "Dense",
+    "Dequantize",
     "ExecutionOptions",
     "ExecutionPlan",
     "FeedbackError",
@@ -136,6 +149,7 @@ __all__ = [
     "LU",
     "LinearContraflowArray",
     "LinearProblem",
+    "MLP",
     "MatMul",
     "MatMulModel",
     "MatMulOperands",
@@ -148,9 +162,13 @@ __all__ = [
     "PipelineResult",
     "Power",
     "Problem",
+    "QuantParams",
+    "Quantize",
+    "QuantizedMLP",
     "RecoveryError",
     "Ref",
     "Refine",
+    "Relu",
     "ReproError",
     "SOR",
     "ScheduleError",

@@ -91,6 +91,13 @@ class ExecutionOptions:
     sor_omega
         Relaxation factor for the ``sor`` kind (``1.0`` is Gauss-Seidel;
         convergence needs ``0 < omega < 2``).
+    dtype_mode
+        Numeric datapath of the NN kinds (:mod:`repro.nn`):
+        ``"float64"`` (the default, and what every classic kind uses) or
+        ``"int8"`` — int8 operands accumulated in int32, the quantized
+        inference datapath.  Participates in the plan key like every
+        other option, so float and int8 plans for the same shape never
+        collide.
     """
 
     record_trace: bool = False
@@ -102,6 +109,7 @@ class ExecutionOptions:
     criteria: ConvergenceCriteria = ConvergenceCriteria()
     sor_omega: float = 1.0
     backend: str = AUTO_BACKEND
+    dtype_mode: str = "float64"
 
     def __post_init__(self) -> None:
         if self.backend != AUTO_BACKEND:
@@ -123,6 +131,10 @@ class ExecutionOptions:
         if not 0.0 < self.sor_omega < 2.0:
             raise ValueError(
                 f"sor_omega must satisfy 0 < omega < 2, got {self.sor_omega}"
+            )
+        if self.dtype_mode not in ("float64", "int8"):
+            raise ValueError(
+                f"dtype_mode must be 'float64' or 'int8', got {self.dtype_mode!r}"
             )
 
     def merged(self, **overrides) -> "ExecutionOptions":

@@ -153,10 +153,13 @@ class ExecutionPlan:
         return solutions[0], solutions[1]
 
     def describe(self) -> str:
-        return (
+        text = (
             f"ExecutionPlan(kind={self._kind!r}, shapes={self._shapes}, "
-            f"w={self._spec.w})"
+            f"w={self._spec.w}"
         )
+        if self._options.dtype_mode != "float64":
+            text += f", dtype_mode={self._options.dtype_mode!r}"
+        return text + ")"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return self.describe()

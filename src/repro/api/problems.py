@@ -595,3 +595,8 @@ for _handler_class in (
     BlockPartitionedHandler,
 ):
     register(_handler_class())
+
+# The NN inference kinds (dense / bias / relu / quantize / dequantize)
+# register themselves on import, exactly like the handlers above; pulling
+# the module in here keeps "import repro.api" sufficient for every kind.
+from ..nn import handlers as _nn_handlers  # noqa: E402,F401

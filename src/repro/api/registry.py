@@ -2,10 +2,13 @@
 
 Each problem kind the package can solve is described by a
 :class:`ProblemHandler` and registered under a string key ("matvec",
-"matmul", "lu", "triangular", "gauss_seidel", "sparse", plus the
-comparison baselines).  The :class:`~repro.api.solver.Solver` façade
-resolves kinds through this registry, so adding a workload is: implement a
-handler, call :func:`register` — no façade changes.
+"matmul", "lu", "triangular", "gauss_seidel", "sparse", the NN inference
+kinds of :mod:`repro.nn` — "dense", "bias", "relu", "quantize",
+"dequantize" — plus the comparison baselines).  The
+:class:`~repro.api.solver.Solver` façade resolves kinds through this
+registry, so adding a workload is: implement a handler, call
+:func:`register` — no façade changes; unknown-kind did-you-mean
+suggestions and :func:`registered_kinds` pick the new kind up for free.
 """
 
 from __future__ import annotations

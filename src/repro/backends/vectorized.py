@@ -177,6 +177,71 @@ class LinearSweepPlan:
         )
         return band_outputs, y
 
+    def int_sweep(
+        self,
+        matrix: np.ndarray,
+        x: np.ndarray,
+        b: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Integer-datapath variant of :meth:`sweep` (int32-accumulate).
+
+        Integer addition is exactly associative, so the pass-by-pass
+        accumulation doesn't need the float path's cyclic gather and
+        timestep loop at all: every partial is a contiguous cyclic range
+        sum recoverable from one elementwise product and one row-wise
+        prefix sum (plus an O(N_pad * M_bar) snapshot gather) — the same
+        integers the simulator's cells accumulate, reached in O(n m)
+        straight-line arithmetic.  That is what makes the int8 path
+        faster than the float one rather than a dtype-recolored copy of
+        it.  Operands must be integer arrays (the caller quantizes and
+        zero-point-shifts); the whole datapath runs in int32, the
+        accumulator width of the quantized hardware.  The caller
+        guarantees operands and true accumulators fit int32 — int8-range
+        operands stay exact up to ~2^16 columns.
+        """
+        for name, operand in (("matrix", matrix), ("x", x), ("b", b)):
+            if operand is not None and not np.issubdtype(
+                np.asarray(operand).dtype, np.integer
+            ):
+                raise TypeError(
+                    f"int_sweep needs integer operands, got {name} of dtype "
+                    f"{np.asarray(operand).dtype}"
+                )
+        a_pad = np.zeros((self._n_pad, self._m_pad), dtype=np.int32)
+        a_pad[: self._n, : self._m] = matrix
+        x_pad = np.zeros(self._m_pad, dtype=np.int32)
+        x_pad[: self._m] = x
+        b_pad = np.zeros(self._n_pad, dtype=np.int32)
+        if b is not None:
+            b_pad[: self._n] = b
+        # Row r consumes padded columns cyclically from s_r = r mod w, so
+        # after rotating each row's products left by s_r, pass j is just
+        # the contiguous column block [j w, (j+1) w): one blocked reduce
+        # plus a small prefix sum reproduces every snapshot.  Rows with
+        # equal s_r sit on a fixed lane of the (n_bar, w, M_pad) view,
+        # so the rotation is w - 1 contiguous copies, not a gather.
+        products = (a_pad * x_pad[None, :]).reshape(
+            self._n_bar, self._w, self._m_pad
+        )
+        shifted = np.empty_like(products)
+        shifted[:, 0] = products[:, 0]
+        for lane in range(1, self._w):
+            shifted[:, lane, : -lane] = products[:, lane, lane:]
+            shifted[:, lane, -lane:] = products[:, lane, :lane]
+        pass_sums = shifted.reshape(self._n_pad, self._m_bar, self._w).sum(
+            axis=2, dtype=np.int32
+        )
+        partials = np.cumsum(pass_sums, axis=1, dtype=np.int32)
+        partials += b_pad[:, None]
+        y = partials[:, -1].copy()
+        band_outputs = (
+            partials.T.reshape(self._m_bar, self._n_bar, self._w)
+            .transpose(1, 0, 2)
+            .reshape(-1)
+            .copy()
+        )
+        return band_outputs, y
+
 
 def build_linear_run(
     w: int,

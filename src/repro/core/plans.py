@@ -206,6 +206,17 @@ class MatVecPlan:
     def model(self) -> MatVecModel:
         return self._model
 
+    @property
+    def sweep_plan(self) -> Optional[LinearSweepPlan]:
+        """The vectorized sweep skeleton (``None`` on the simulate backend).
+
+        Exposed for engines that layer other datapaths over the same band
+        geometry — the :mod:`repro.nn` int8 dense plan drives
+        :meth:`~repro.backends.vectorized.LinearSweepPlan.int_sweep`
+        through it.
+        """
+        return self._sweep
+
     # -- value streaming ------------------------------------------------------------
     def _validate(
         self, matrix: np.ndarray, x: np.ndarray, b: Optional[np.ndarray]

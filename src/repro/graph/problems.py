@@ -63,6 +63,7 @@ __all__ = [
     "Sparse",
     "Triangular",
     "problem_types",
+    "register_problem_type",
 ]
 
 #: A shape resolver: maps one operand slot value (array or Ref) to its
@@ -747,3 +748,24 @@ def problem_types() -> Mapping[str, Type[Problem]]:
     alias) only speak the string form.
     """
     return _PROBLEM_TYPES_VIEW
+
+
+def register_problem_type(cls: Type[Problem]) -> Type[Problem]:
+    """Add a typed problem class to :func:`problem_types` (returns ``cls``).
+
+    The extension point problem families outside this module use —
+    :mod:`repro.nn` registers its five kinds through it — keeping
+    :func:`problem_types` the single source of truth that
+    ``Solver.problem_types()`` and every handler's ``problem_class``
+    read.  Usable as a class decorator; last registration per kind wins.
+    """
+    global _PROBLEM_TYPES_VIEW
+    if not (isinstance(cls, type) and issubclass(cls, Problem)):
+        raise TypeError(
+            f"register_problem_type expects a Problem subclass, got {cls!r}"
+        )
+    if not cls.kind:
+        raise ValueError(f"{cls.__name__} declares no kind")
+    _PROBLEM_TYPES[cls.kind] = cls
+    _PROBLEM_TYPES_VIEW = MappingProxyType(dict(sorted(_PROBLEM_TYPES.items())))
+    return cls

@@ -1,0 +1,48 @@
+"""Quantized neural-network inference on the systolic machinery.
+
+The paper's arrays are the datapath modern NN accelerators are built on;
+this subpackage closes the loop by expressing a TPU-style int8 inference
+pass in terms of the package's own graph/plan-cache/service stack:
+
+* :mod:`repro.nn.quantization` — affine int8 parameters and casts,
+* :mod:`repro.nn.problems` — typed graph stages :class:`Dense`,
+  :class:`Bias`, :class:`Relu`, :class:`Quantize`, :class:`Dequantize`,
+* :mod:`repro.nn.engine` — the execution plans (systolic matvec with a
+  zero-point prologue; host epilogues),
+* :mod:`repro.nn.handlers` — registry handlers (imported here for their
+  registration side effect),
+* :mod:`repro.nn.mlp` — :class:`MLP` / :class:`QuantizedMLP` builders
+  compiling whole forward passes into single pipeline programs.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ArraySpec, GraphCompiler, Solver
+    from repro.nn import MLP
+
+    rng = np.random.default_rng(0)
+    mlp = MLP([(rng.normal(size=(8, 6)), rng.normal(size=8)),
+               (rng.normal(size=(4, 8)), rng.normal(size=4))])
+    x = rng.normal(size=6)
+    qmlp = mlp.quantized(calibration=[x])
+    result = GraphCompiler(Solver(ArraySpec(w=4))).run(qmlp.graph(x))
+    logits = result.output("logits")        # int8 datapath, float logits
+"""
+
+from . import handlers as _handlers  # noqa: F401  (registers the kinds)
+from .mlp import MLP, QuantizedMLP
+from .problems import Bias, Dense, Dequantize, Quantize, Relu
+from .quantization import INT8_MAX, INT8_MIN, QuantParams
+
+__all__ = [
+    "Bias",
+    "Dense",
+    "Dequantize",
+    "INT8_MAX",
+    "INT8_MIN",
+    "MLP",
+    "QuantParams",
+    "Quantize",
+    "QuantizedMLP",
+    "Relu",
+]

@@ -1,0 +1,106 @@
+"""Affine int8 quantization: parameters, casts, and error bounds.
+
+The quantized datapath of :mod:`repro.nn` is the TPU-style affine
+scheme: a real value ``v`` is represented as the int8 code
+``q = clip(round(v / scale) + zero_point, -128, 127)`` and recovered as
+``v ~ scale * (q - zero_point)``.  Weights use the *symmetric* special
+case (``zero_point = 0``), which is what makes the per-layer error
+analysis in :meth:`repro.nn.mlp.QuantizedMLP.error_bounds` exact: with
+symmetric weights the int32 accumulator ``W_q @ (x_q - zp)`` dequantizes
+to exactly ``(scale_w W_q) @ (scale_x (x_q - zp))``, so all quantization
+error enters through the operand roundings alone.
+
+Rounding is :func:`numpy.rint` (round half to even) — deterministic and
+identical on both backends, which the bit-identity contract needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["INT8_MAX", "INT8_MIN", "QuantParams"]
+
+INT8_MIN = -128
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """One affine int8 quantization: ``q = round(v / scale) + zero_point``.
+
+    Frozen (hashable) so parameters can ride inside plan-keyed options if
+    a caller ever wants per-tensor plans; the stock NN kinds instead pass
+    scale/zero_point as execution *values*, keeping plans value
+    independent like every other kind.
+    """
+
+    scale: float
+    zero_point: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.scale > 0.0:
+            raise ValueError(f"scale must be > 0, got {self.scale}")
+        if not INT8_MIN <= self.zero_point <= INT8_MAX:
+            raise ValueError(
+                f"zero_point must be in [{INT8_MIN}, {INT8_MAX}], "
+                f"got {self.zero_point}"
+            )
+        object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(self, "zero_point", int(self.zero_point))
+
+    # -- calibration ---------------------------------------------------------------
+    @classmethod
+    def from_range(cls, lo: float, hi: float) -> "QuantParams":
+        """Affine parameters covering ``[lo, hi]`` (expanded to include 0).
+
+        Zero must be exactly representable (ReLU outputs and zero padding
+        would otherwise dequantize to a bias), so the range is widened to
+        contain it before the scale is derived.
+        """
+        lo = min(float(lo), 0.0)
+        hi = max(float(hi), 0.0)
+        if hi == lo:
+            return cls(scale=1.0, zero_point=0)
+        scale = (hi - lo) / float(INT8_MAX - INT8_MIN)
+        zero_point = int(
+            np.clip(np.rint(INT8_MIN - lo / scale), INT8_MIN, INT8_MAX)
+        )
+        return cls(scale=scale, zero_point=zero_point)
+
+    @classmethod
+    def symmetric(cls, max_abs: float) -> "QuantParams":
+        """Symmetric parameters (``zero_point = 0``) for ``[-max_abs, max_abs]``.
+
+        The weight scheme: symmetric codes multiply without zero-point
+        cross terms, so the int32 accumulator stays an exact scaled dot
+        product.
+        """
+        max_abs = abs(float(max_abs))
+        if max_abs == 0.0:
+            return cls(scale=1.0, zero_point=0)
+        return cls(scale=max_abs / float(INT8_MAX), zero_point=0)
+
+    # -- casts ---------------------------------------------------------------------
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Real values to saturating int8 codes."""
+        codes = np.rint(np.asarray(values, dtype=float) / self.scale)
+        codes = np.clip(codes + self.zero_point, INT8_MIN, INT8_MAX)
+        return codes.astype(np.int8)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes (int8 or wider accumulators) back to float64."""
+        return self.scale * (
+            np.asarray(codes, dtype=np.int64) - self.zero_point
+        ).astype(float)
+
+    def round_trip_error(self, values: np.ndarray) -> np.ndarray:
+        """Elementwise ``|v - dequantize(quantize(v))|`` (actual, not bound)."""
+        values = np.asarray(values, dtype=float)
+        return np.abs(values - self.dequantize(self.quantize(values)))
+
+    @property
+    def step_error(self) -> float:
+        """Half-step worst-case rounding error for in-range values."""
+        return self.scale / 2.0

@@ -85,6 +85,13 @@ class ShardStats:
     stage_latency_p50: Optional[float] = None
     stage_latency_p95: Optional[float] = None
     stage_latency_sample: Tuple[float, ...] = field(repr=False, default=())
+    #: Summed pipeline depth (levels) across those jobs — ``graph_levels /
+    #: graphs`` is the mean depth; an NN forward pass is as deep as it is
+    #: long, a fan-out workload is shallower than its stage count.
+    graph_levels: int = 0
+    #: Stage executions per kind across pipeline jobs (the per-layer view:
+    #: an MLP graph shows up as dense/bias/relu/quantize/dequantize here).
+    graph_stages_by_kind: Mapping[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
         """One-shard, one-paragraph report (``ServiceStats.describe`` uses it)."""
@@ -102,7 +109,8 @@ class ShardStats:
             line += (
                 f", {self.graphs} pipeline(s) x "
                 f"{self.graph_stages / self.graphs:.1f} stages "
-                f"({self.graph_fused} fused, stage p95 "
+                f"(depth {self.graph_levels / self.graphs:.1f}, "
+                f"{self.graph_fused} fused, stage p95 "
                 f"{_ms(self.stage_latency_p95)})"
             )
         return line
@@ -134,6 +142,8 @@ class ShardTelemetry:
         self._graphs = 0
         self._graph_stages = 0
         self._graph_fused = 0
+        self._graph_levels = 0
+        self._graph_stages_by_kind: "Counter[str]" = Counter()
         self._stage_latencies: Deque[float] = deque(
             maxlen=LATENCY_RESERVOIR_SIZE
         )
@@ -184,18 +194,24 @@ class ShardTelemetry:
         stages: int,
         fused: int,
         stage_latencies: Sequence[float],
+        levels: int = 0,
+        kinds: Sequence[str] = (),
     ) -> None:
         """Account one completed whole-pipeline job.
 
         ``stages`` is the executed stage count, ``fused`` the fused
-        stages (overlapped pairs + associativity rewrites), and
+        stages (overlapped pairs + associativity rewrites),
         ``stage_latencies`` the per-stage wall seconds feeding the stage
-        latency reservoir.
+        latency reservoir, ``levels`` the pipeline depth (distinct
+        topological levels), and ``kinds`` the per-stage kind strings
+        (an MLP job contributes its layer structure here).
         """
         with self._lock:
             self._graphs += 1
             self._graph_stages += int(stages)
             self._graph_fused += int(fused)
+            self._graph_levels += int(levels)
+            self._graph_stages_by_kind.update(kinds)
             self._stage_latencies.extend(stage_latencies)
 
     def record_failed(self, latency: float) -> None:
@@ -236,6 +252,8 @@ class ShardTelemetry:
                 stage_latency_p50=percentile(stage_sample, 0.50),
                 stage_latency_p95=percentile(stage_sample, 0.95),
                 stage_latency_sample=stage_sample,
+                graph_levels=self._graph_levels,
+                graph_stages_by_kind=dict(self._graph_stages_by_kind),
             )
 
     def describe(
@@ -275,12 +293,15 @@ class ServiceStats:
     graph_fused: int = 0
     stage_latency_p50: Optional[float] = None
     stage_latency_p95: Optional[float] = None
+    graph_levels: int = 0
+    graph_stages_by_kind: Mapping[str, int] = field(default_factory=dict)
 
     @classmethod
     def aggregate(cls, shards: Sequence[ShardStats]) -> "ServiceStats":
         by_kind: "Counter[str]" = Counter()
         histogram: "Counter[int]" = Counter()
         iterations: "Counter[str]" = Counter()
+        stages_by_kind: "Counter[str]" = Counter()
         pooled: List[float] = []
         pooled_stages: List[float] = []
         cache = CacheStats()
@@ -288,6 +309,7 @@ class ServiceStats:
             by_kind.update(shard.requests_by_kind)
             histogram.update(shard.batch_size_histogram)
             iterations.update(shard.iterations_by_kind)
+            stages_by_kind.update(shard.graph_stages_by_kind)
             pooled.extend(shard.latency_sample)
             pooled_stages.extend(shard.stage_latency_sample)
             cache = cache + shard.cache
@@ -314,6 +336,8 @@ class ServiceStats:
             graph_fused=sum(s.graph_fused for s in shards),
             stage_latency_p50=percentile(pooled_stages, 0.50),
             stage_latency_p95=percentile(pooled_stages, 0.95),
+            graph_levels=sum(s.graph_levels for s in shards),
+            graph_stages_by_kind=dict(stages_by_kind),
         )
 
     @property
@@ -363,10 +387,18 @@ class ServiceStats:
         if self.graphs:
             lines.append(
                 f"  pipelines:   {self.graphs} graph(s), "
-                f"{self.graph_stages} stage(s), {self.graph_fused} fused, "
+                f"{self.graph_stages} stage(s), "
+                f"{self.graph_fused} fused, "
+                f"mean depth {self.graph_levels / self.graphs:.1f}, "
                 f"stage latency p50 {_ms(self.stage_latency_p50)} / "
                 f"p95 {_ms(self.stage_latency_p95)}"
             )
+        if self.graph_stages_by_kind:
+            stage_kinds = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.graph_stages_by_kind.items())
+            )
+            lines.append(f"  stage kinds: {stage_kinds}")
         if self.batch_size_histogram:
             histogram = ", ".join(
                 f"{size}x{count}"

@@ -214,6 +214,8 @@ class ShardWorker:
             stages=len(result.solutions),
             fused=result.fused_pairs + result.fused_rewrites,
             stage_latencies=result.stage_seconds,
+            levels=(max(result.levels) + 1) if result.levels else 0,
+            kinds=result.kinds,
         )
         for kind, solution in zip(result.kinds, result.solutions):
             self._record_iterations(kind, solution)

@@ -249,6 +249,80 @@ class TestBaselineEquivalence:
         assert vectorized.measured_steps == simulated.measured_steps
 
 
+class TestNNEquivalence:
+    """The NN kinds honour the same bit-identity contract as the rest.
+
+    The int8 dense accumulator is additionally checked against the exact
+    integer reference ``W @ (x - zero_point)`` — integer MACs are exact in
+    float64 far beyond int8 ranges, so both backends must reproduce it
+    bit for bit, not approximately.
+    """
+
+    @pytest.mark.parametrize("w", [1, 2, 3, 4])
+    @pytest.mark.parametrize("n", [1, 4, 7, 12])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_dense_int8_matches_simulator(self, w, n, seed):
+        rng = np.random.default_rng(seed)
+        m = max(1, n + (seed + 1) * 2 - 3)
+        matrix = rng.integers(-128, 128, size=(n, m)).astype(np.int8)
+        x = rng.integers(-128, 128, size=m).astype(np.int8)
+        zero_point = int(rng.integers(-10, 11))
+        simulated = solver_for(w, "simulate", dtype_mode="int8").solve(
+            "dense", matrix, x, x_zero_point=zero_point
+        )
+        vectorized = solver_for(w, "vectorized", dtype_mode="int8").solve(
+            "dense", matrix, x, x_zero_point=zero_point
+        )
+        expected = matrix.astype(np.int64) @ (x.astype(np.int64) - zero_point)
+        assert simulated.values.dtype == np.int32
+        assert vectorized.values.dtype == np.int32
+        assert np.array_equal(simulated.values, expected)
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert_metrics_match(simulated, vectorized)
+        assert simulated.stats["dtype_mode"] == "int8"
+        assert vectorized.stats["dtype_mode"] == "int8"
+
+    @pytest.mark.parametrize("w", [2, 3])
+    @pytest.mark.parametrize("n", [5, 9])
+    def test_dense_float_matches_simulator(self, w, n, rng):
+        a = rng.normal(size=(n, n + 1))
+        x = rng.normal(size=n + 1)
+        simulated, vectorized = both("dense", w, (a, x))
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert_metrics_match(simulated, vectorized)
+        assert simulated.stats["dtype_mode"] == "float64"
+
+    @pytest.mark.parametrize("w", [2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_elementwise_kinds_match_simulator(self, w, seed):
+        rng = np.random.default_rng(seed)
+        n = 6 + seed
+        accumulator = rng.integers(-(2**20), 2**20, size=n)
+        cases = [
+            ("bias", (rng.normal(size=n), rng.normal(size=n)), {}),
+            ("relu", (rng.normal(size=n),), {}),
+            ("quantize", (rng.normal(size=n),), {"scale": 0.1, "zero_point": 3}),
+            ("dequantize", (accumulator,), {"scale": 0.03}),
+        ]
+        for kind, operands, kwargs in cases:
+            simulated = solver_for(w, "simulate").solve(kind, *operands, **kwargs)
+            vectorized = solver_for(w, "vectorized").solve(
+                kind, *operands, **kwargs
+            )
+            assert np.array_equal(vectorized.values, simulated.values), kind
+            assert vectorized.values.dtype == simulated.values.dtype, kind
+            assert vectorized.stats == simulated.stats, kind
+
+    @pytest.mark.parametrize("w", [2, 4])
+    def test_relu_preserves_integer_dtype(self, w, rng):
+        codes = rng.integers(-1000, 1000, size=7).astype(np.int32)
+        simulated, vectorized = both("relu", w, (codes,))
+        assert simulated.values.dtype == np.int32
+        assert vectorized.values.dtype == np.int32
+        assert np.array_equal(vectorized.values, simulated.values)
+        assert np.array_equal(simulated.values, np.maximum(codes, 0))
+
+
 class TestSharedEngineBackend:
     def test_shared_matvec_engine_overrides_pipeline_backend(self, rng):
         """An injected engine carries its own backend, as documented."""

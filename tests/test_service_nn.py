@@ -1,0 +1,103 @@
+"""Quantized MLP inference through the serving layer.
+
+Acceptance (ISSUE 6): multi-client int8 MLP graphs served through 4
+shards are bit-identical to a single-threaded ``GraphCompiler`` run, the
+whole forward pass rides one compiled pipeline per submission (warm after
+the home shard's first build), and the fleet snapshot carries the new
+graph metadata (depth and per-kind stage counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ArraySpec, Solver
+from repro.graph import GraphCompiler
+from repro.nn import MLP
+from repro.service import SolverService
+
+W = 4
+SIZES = (6, 8, 5, 3)  # 3 layers -> 14-stage quantized graphs
+N_CLIENT_INPUTS = 6
+
+
+@pytest.fixture
+def deployment(rng):
+    """A calibrated 3-layer QuantizedMLP plus a batch of client inputs."""
+    layers = [
+        (
+            rng.normal(size=(fan_out, fan_in)) / np.sqrt(fan_in),
+            rng.normal(size=fan_out) * 0.1,
+        )
+        for fan_in, fan_out in zip(SIZES, SIZES[1:])
+    ]
+    mlp = MLP(layers)
+    calibration = [rng.normal(size=SIZES[0]) for _ in range(8)]
+    inputs = [rng.normal(size=SIZES[0]) for _ in range(N_CLIENT_INPUTS)]
+    return mlp.quantized(calibration), inputs
+
+
+class TestServiceNN:
+    def test_sharded_inference_bit_identical_to_direct(self, deployment):
+        qmlp, inputs = deployment
+        reference = GraphCompiler(Solver(ArraySpec(W)))
+        expected = [reference.run(qmlp.graph(x)).output("logits") for x in inputs]
+        with SolverService(ArraySpec(W), n_shards=4) as service:
+            futures = [service.submit_graph(qmlp.graph(x)) for x in inputs]
+            results = [future.result(timeout=30) for future in futures]
+        for result, logits in zip(results, expected):
+            assert np.array_equal(result.output("logits"), logits)
+
+    def test_resubmission_is_warm_on_home_shard(self, deployment):
+        qmlp, inputs = deployment
+        x = inputs[0]
+        with SolverService(ArraySpec(W), n_shards=4) as service:
+            cold = service.solve_graph(qmlp.graph(x))
+            assert not cold.warm
+            # Same shapes, fresh values: routed to the same home shard,
+            # every one of the 14 stage plans is already resident.
+            warm_results = [
+                service.solve_graph(qmlp.graph(x2)) for x2 in inputs[1:]
+            ]
+        for warm in warm_results:
+            assert warm.warm
+            assert warm.plan_builds == 0 and warm.compile_plan_builds == 0
+
+    def test_stats_carry_graph_depth_and_stage_kinds(self, deployment):
+        qmlp, inputs = deployment
+        n_graphs = len(inputs)
+        with SolverService(ArraySpec(W), n_shards=4) as service:
+            for x in inputs:
+                service.solve_graph(qmlp.graph(x))
+            stats = service.stats()
+        assert stats.graphs == n_graphs
+        assert stats.graph_stages == 14 * n_graphs
+        # The quantized MLP graph is a pure chain: depth == stage count.
+        assert stats.graph_levels == 14 * n_graphs
+        assert stats.graph_stages_by_kind == {
+            "quantize": 3 * n_graphs,
+            "dense": 3 * n_graphs,
+            "dequantize": 3 * n_graphs,
+            "bias": 3 * n_graphs,
+            "relu": 2 * n_graphs,
+        }
+        assert "stage kinds:" in stats.describe()
+
+    def test_mixed_precision_clients_do_not_collide(self, deployment, rng):
+        """Float and int8 graphs of the same network coexist in one fleet."""
+        qmlp, inputs = deployment
+        mlp = qmlp.mlp
+        x = inputs[0]
+        with SolverService(ArraySpec(W), n_shards=4) as service:
+            int8_logits = service.solve_graph(qmlp.graph(x)).output("logits")
+            float_logits = service.solve_graph(mlp.graph(x)).output("logits")
+        reference = GraphCompiler(Solver(ArraySpec(W)))
+        assert np.array_equal(
+            int8_logits, reference.run(qmlp.graph(x)).output("logits")
+        )
+        assert np.array_equal(
+            float_logits, reference.run(mlp.graph(x)).output("logits")
+        )
+        bounds = qmlp.error_bounds(x)["logits"]
+        assert np.all(np.abs(int8_logits - float_logits) <= bounds + 1e-9)
