@@ -7,7 +7,6 @@ come from) and checks the structural properties the figure illustrates.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.figures import render_fig1_block_structure
 from repro.analysis.report import ExperimentReport

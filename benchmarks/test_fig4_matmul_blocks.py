@@ -9,7 +9,6 @@ of the inner (contracted) indices.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.figures import render_fig4_matmul_blocks
 from repro.analysis.report import ExperimentReport

@@ -12,7 +12,6 @@ the paper's closed forms:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.report import ExperimentReport
 from repro.core.analytic import matvec_steps, matvec_utilization

@@ -309,7 +309,6 @@ class MatMulOperands:
         :class:`~repro.errors.TransformError`.
         """
         w = self._w
-        a_band = self._a_band.band
         b_band = self._b_band.band
         a_prov = self._a_band.provenance
         b_prov = self._b_band.provenance

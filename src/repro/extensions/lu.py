@@ -36,7 +36,7 @@ __all__ = ["LUResult", "InverseResult", "SystolicLU"]
 class LUResult:
     """Blocked LU factorization ``A = L U`` plus work accounting."""
 
-    l: np.ndarray
+    l: np.ndarray  # noqa: E741 - the L factor, named for the math
     u: np.ndarray
     array_steps: int
     array_operations: int
@@ -147,7 +147,7 @@ class SystolicLU:
                 work[hi:, hi:] = update.c
 
         return LUResult(
-            l=lower,
+            l=lower,  # noqa: E741
             u=upper,
             array_steps=array_steps,
             array_operations=array_operations,

@@ -36,12 +36,16 @@ Pieces:
   same-plan matvec stage pairing onto overlapped array runs, and the
   opt-in matmul→matvec associativity rewrite (``fuse=True``).
 * :mod:`~repro.graph.program` — :class:`PipelineProgram` (the reusable
-  compiled artifact) and :class:`PipelineResult` (per-stage solutions,
-  outputs, residuals, latencies, cold/warm build accounting).
+  compiled artifact), :class:`ProgramSegment` (its level-aligned
+  partition units) and :class:`PipelineResult` (per-stage solutions,
+  outputs, residuals, latencies, cold/warm build accounting, and — when
+  served — per-stage shard placements with modeled array-time
+  accounting).
 
 Whole graphs also execute through :mod:`repro.service`:
-``service.submit_graph(graph)`` routes the pipeline to its home shard,
-where every stage plan compiles once and stays hot across jobs.
+``service.submit_graph(graph)`` splits a multi-level pipeline into
+placed segments streamed across shards (single-segment graphs run on
+one home shard), with every stage plan compiled once and kept hot.
 """
 
 from .compiler import GraphCompiler
@@ -61,7 +65,13 @@ from .problems import (
     Triangular,
     problem_types,
 )
-from .program import Binding, PipelineProgram, PipelineResult, PipelineStage
+from .program import (
+    Binding,
+    PipelineProgram,
+    PipelineResult,
+    PipelineStage,
+    ProgramSegment,
+)
 
 __all__ = [
     "Binding",
@@ -75,6 +85,7 @@ __all__ = [
     "PipelineProgram",
     "PipelineResult",
     "PipelineStage",
+    "ProgramSegment",
     "Power",
     "Problem",
     "Ref",

@@ -19,6 +19,13 @@ into a :class:`~repro.graph.program.PipelineProgram`:
   changes floating-point association, so it is opt-in and never applied
   to matmuls that are graph outputs, have other consumers, or carry an
   accumulator term.
+
+The emitted program is *partitionable*: because stages carry their
+dependency levels and resolved plans, :meth:`PipelineProgram.segments`
+can split it into level-aligned
+:class:`~repro.graph.program.ProgramSegment` units (optionally per
+placed shard) that the serving layer executes across shards,
+bit-identically to :meth:`PipelineProgram.run`.
 """
 
 from __future__ import annotations

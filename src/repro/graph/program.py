@@ -13,23 +13,41 @@ plan or transform construction, which is the whole point — a multi-stage
 workload re-executed under new operand values costs k plan executions,
 not k Python-API round-trips with re-validation and cache probes.
 
+Programs are *partitionable*: :meth:`PipelineProgram.segments` splits the
+stage list into level-aligned :class:`ProgramSegment` units — one per
+dependency level by default, or one per ``(level, shard)`` when given a
+placement policy — and :meth:`run` is itself just the sequential
+execution of those segments.  The serving layer
+(:mod:`repro.service`) executes the same segments on their placed shards
+with outputs streamed between them, bit-identical to :meth:`run` because
+both walk identical plans over identical operand bindings in level
+order.
+
 :class:`PipelineResult` aggregates the per-stage
 :class:`~repro.api.solution.Solution` objects, the requested graph
-outputs, per-stage residual norms and latencies, and the cold/warm
-plan-build accounting for both the compile and the run.
+outputs, per-stage residual norms and latencies, the cold/warm
+plan-build accounting for both the compile and the run, and — when the
+program was served across shards — the per-stage placements plus the
+modeled array-time accounting of the level-parallel schedule.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from ..api.plan import ExecutionPlan
 from ..api.solution import Solution
 from ..instrumentation import counters
 
-__all__ = ["Binding", "PipelineProgram", "PipelineResult", "PipelineStage"]
+__all__ = [
+    "Binding",
+    "PipelineProgram",
+    "PipelineResult",
+    "PipelineStage",
+    "ProgramSegment",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +85,87 @@ class PipelineStage:
     level: int
     #: Whether the stage's plan was already resident at compile time.
     plan_cached: bool
+
+
+@dataclass(frozen=True)
+class ProgramSegment:
+    """A level-aligned slice of a program: the unit of placed execution.
+
+    Every stage in a segment sits on the same dependency level, so a
+    segment's inputs are fully determined by strictly earlier levels —
+    the property that lets the serving layer run one segment per shard
+    and stream outputs between segments without ever reordering value
+    flow relative to :meth:`PipelineProgram.run`.  ``pairs`` are the
+    overlapped matvec pairs falling entirely inside this segment (pair
+    members share one plan, hence one placement, so a pair can never
+    straddle segments).
+    """
+
+    level: int
+    stages: Tuple[PipelineStage, ...]
+    pairs: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def stage_indices(self) -> Tuple[int, ...]:
+        return tuple(stage.index for stage in self.stages)
+
+    def plan_keys(self) -> Tuple[Tuple, ...]:
+        return tuple(stage.plan.key for stage in self.stages)
+
+    def execute(
+        self,
+        outputs: List[Any],
+        solutions: List[Optional[Solution]],
+        latencies: List[float],
+    ) -> None:
+        """Execute this segment's stages against shared execution state.
+
+        ``outputs``/``solutions``/``latencies`` are the whole program's
+        per-stage slots; this segment reads upstream outputs from them
+        and writes only its own stages' entries.  Paired stages execute
+        together through the plan's overlapped contraflow path (values
+        identical to sequential execution).
+        """
+        partner: Dict[int, int] = {}
+        for first, second in self.pairs:
+            partner[first] = second
+            partner[second] = first
+        stage_by_index = {stage.index: stage for stage in self.stages}
+
+        def finish(index: int, solution: Solution, elapsed: float) -> None:
+            solutions[index] = solution
+            outputs[index] = solution.values
+            latencies[index] = elapsed
+
+        for stage in self.stages:
+            if solutions[stage.index] is not None:
+                continue  # already produced as the second half of a pair
+            operands = tuple(
+                binding.resolve(outputs) for binding in stage.operands
+            )
+            partner_index = partner.get(stage.index)
+            start = time.perf_counter()
+            if partner_index is not None:
+                partner_stage = stage_by_index[partner_index]
+                partner_operands = tuple(
+                    binding.resolve(outputs)
+                    for binding in partner_stage.operands
+                )
+                first, second = stage.plan.execute_pair(
+                    _matvec_triple(operands), _matvec_triple(partner_operands)
+                )
+                elapsed = time.perf_counter() - start
+                counters.fused_matvec_pairs += 1
+                # The shared run's wall time is attributed to both stages.
+                finish(stage.index, first, elapsed)
+                finish(partner_index, second, elapsed)
+                continue
+            kwargs = {
+                key: binding.resolve(outputs)
+                for key, binding in stage.kwargs.items()
+            }
+            solution = stage.plan.execute(*operands, **kwargs)
+            finish(stage.index, solution, time.perf_counter() - start)
 
 
 class PipelineProgram:
@@ -128,8 +227,53 @@ class PipelineProgram:
     def plan_keys(self) -> Tuple[Tuple, ...]:
         return tuple(stage.plan.key for stage in self._stages)
 
+    def level_partition(self) -> Tuple[Tuple[PipelineStage, ...], ...]:
+        """Stages grouped by dependency level, in level order."""
+        by_level: Dict[int, List[PipelineStage]] = {}
+        for stage in self._stages:
+            by_level.setdefault(stage.level, []).append(stage)
+        return tuple(
+            tuple(sorted(by_level[level], key=lambda s: s.index))
+            for level in sorted(by_level)
+        )
+
+    def segments(
+        self,
+        placement: Optional[Callable[[Hashable], int]] = None,
+    ) -> Tuple[ProgramSegment, ...]:
+        """Split the program into level-aligned execution segments.
+
+        With no ``placement``, one segment per dependency level.  With a
+        placement policy (a plan-key → shard callable, e.g.
+        ``PlacementTable.shard_of``), each level splits further into one
+        segment per shard, ordered by ``(level, shard)`` — the partition
+        the serving layer streams across shards.  Executing the segments
+        in order is exactly :meth:`run`'s schedule, so any execution that
+        respects segment order within a level's *dependencies* (levels
+        are independent within themselves) is bit-identical to it.
+        """
+        grouped: Dict[Tuple[int, int], List[PipelineStage]] = {}
+        for stage in self._stages:
+            shard = 0 if placement is None else int(placement(stage.plan.key))
+            grouped.setdefault((stage.level, shard), []).append(stage)
+        segments: List[ProgramSegment] = []
+        for level, _shard in sorted(grouped):
+            stages = tuple(
+                sorted(grouped[(level, _shard)], key=lambda s: s.index)
+            )
+            indices = {stage.index for stage in stages}
+            pairs = tuple(
+                (first, second)
+                for first, second in self._pairs
+                if first in indices and second in indices
+            )
+            segments.append(
+                ProgramSegment(level=level, stages=stages, pairs=pairs)
+            )
+        return tuple(segments)
+
     def describe(self) -> str:
-        """Stage table: level, name, kind, plan reuse, pairing."""
+        """Stage table: level partition, plan reuse, pairing."""
         unique_plans = len({id(stage.plan) for stage in self._stages})
         lines = [
             (
@@ -139,6 +283,11 @@ class PipelineProgram:
                 f"{self._fused_rewrites} fusion rewrite(s)"
             )
         ]
+        partition = " | ".join(
+            f"{group[0].level}: " + ", ".join(stage.name for stage in group)
+            for group in self.level_partition()
+        )
+        lines.append(f"  levels:    {partition}")
         for stage in self._stages:
             marks = []
             if stage.plan_cached:
@@ -162,67 +311,64 @@ class PipelineProgram:
         )
 
     # -- execution --------------------------------------------------------------------
+    def consume_compile_charge(self) -> int:
+        """The compile-time plan builds to charge to the next result.
+
+        Charged exactly once — to the first :meth:`run` (or the first
+        served execution) — so every later execution of a resident
+        program reports ``warm`` as soon as execution itself builds
+        nothing.
+        """
+        charged = 0 if self._ran else self._compile_plan_builds
+        self._ran = True
+        return charged
+
     def run(self) -> "PipelineResult":
         """Execute every stage in dependency order; returns the result.
 
-        Stage outputs feed downstream operand slots in memory; paired
-        stages execute together through the plan's overlapped contraflow
-        path (values identical to sequential execution); everything else
-        streams through its plan one stage at a time.
-
-        The program's compile-time plan builds are charged to the *first*
-        run's result only — they are paid once, so every later run of a
-        resident program reports ``warm`` as soon as execution itself
-        builds nothing.
+        Walks the level-aligned segments in order — stage outputs feed
+        downstream operand slots in memory; paired stages execute
+        together through the plan's overlapped contraflow path (values
+        identical to sequential execution); everything else streams
+        through its plan one stage at a time.
         """
         counters.graph_runs += 1
-        charged_compile_builds = 0 if self._ran else self._compile_plan_builds
-        self._ran = True
+        charged_compile_builds = self.consume_compile_charge()
         total_start = time.perf_counter()
         n = len(self._stages)
         solutions: List[Optional[Solution]] = [None] * n
         outputs: List[Any] = [None] * n
         latencies: List[float] = [0.0] * n
-
-        def finish(index: int, solution: Solution, elapsed: float) -> None:
-            solutions[index] = solution
-            outputs[index] = solution.values
-            latencies[index] = elapsed
-
         # Level order, not stage-list order: a paired partner's
         # dependencies may sit *after* the pair's first member in the
         # graph's topological order, but they always sit on a strictly
-        # lower level, so walking levels makes every pair fire with both
-        # members' inputs resolved.
-        for stage in sorted(self._stages, key=lambda s: (s.level, s.index)):
-            if solutions[stage.index] is not None:
-                continue  # already produced as the second half of a pair
-            operands = tuple(
-                binding.resolve(outputs) for binding in stage.operands
-            )
-            partner_index = self._pair_partner.get(stage.index)
-            start = time.perf_counter()
-            if partner_index is not None:
-                partner = self._stages[partner_index]
-                partner_operands = tuple(
-                    binding.resolve(outputs) for binding in partner.operands
-                )
-                first, second = stage.plan.execute_pair(
-                    _matvec_triple(operands), _matvec_triple(partner_operands)
-                )
-                elapsed = time.perf_counter() - start
-                counters.fused_matvec_pairs += 1
-                # The shared run's wall time is attributed to both stages.
-                finish(stage.index, first, elapsed)
-                finish(partner_index, second, elapsed)
-                continue
-            kwargs = {
-                key: binding.resolve(outputs)
-                for key, binding in stage.kwargs.items()
-            }
-            solution = stage.plan.execute(*operands, **kwargs)
-            finish(stage.index, solution, time.perf_counter() - start)
+        # lower level, so walking level segments makes every pair fire
+        # with both members' inputs resolved.
+        for segment in self.segments():
+            segment.execute(outputs, solutions, latencies)
+        return self.assemble(
+            solutions,
+            outputs,
+            latencies,
+            total_seconds=time.perf_counter() - total_start,
+            compile_plan_builds=charged_compile_builds,
+        )
 
+    def assemble(
+        self,
+        solutions: List[Optional[Solution]],
+        outputs: List[Any],
+        latencies: List[float],
+        total_seconds: float,
+        compile_plan_builds: int,
+        placements: Tuple[int, ...] = (),
+    ) -> "PipelineResult":
+        """Fold executed per-stage state into a :class:`PipelineResult`.
+
+        Shared by :meth:`run` and the serving layer's cross-shard
+        pipelined execution (which passes the per-stage ``placements`` it
+        executed under).
+        """
         # Execution-time builds are the inner engine plans the iterative
         # kinds warm up on their first sweep; every solution reports its
         # own (engine-local, hence shard-exact) split, so summing them
@@ -242,12 +388,13 @@ class PipelineProgram:
                 (name, outputs[index]) for name, index in self._outputs
             ),
             stage_seconds=tuple(latencies),
-            total_seconds=time.perf_counter() - total_start,
+            total_seconds=total_seconds,
             plan_builds=run_builds,
-            compile_plan_builds=charged_compile_builds,
+            compile_plan_builds=compile_plan_builds,
             fused_pairs=len(self._pairs),
             fused_rewrites=self._fused_rewrites,
             levels=tuple(stage.level for stage in self._stages),
+            placements=tuple(placements),
         )
 
 
@@ -256,6 +403,12 @@ def _matvec_triple(operands: Tuple) -> Tuple:
     if len(operands) == 2:
         return (operands[0], operands[1], None)
     return operands
+
+
+def _solution_steps(solution: Solution) -> int:
+    """Modeled array steps of one stage (0 for host-epilogue kinds)."""
+    steps = getattr(solution, "measured_steps", 0)
+    return int(steps) if steps else 0
 
 
 @dataclass(frozen=True)
@@ -269,6 +422,10 @@ class PipelineResult:
     ``compile_plan_builds`` counts stage plans built when the program
     was compiled (charged to the first run).  A fully warm pipeline
     reports zero for both.
+
+    ``placements`` is the per-stage shard assignment when the program
+    executed through the serving layer's cross-shard pipeline (empty for
+    a plain single-solver :meth:`PipelineProgram.run`).
     """
 
     names: Tuple[str, ...]
@@ -282,6 +439,7 @@ class PipelineResult:
     fused_pairs: int
     fused_rewrites: int
     levels: Tuple[int, ...] = ()
+    placements: Tuple[int, ...] = ()
 
     @property
     def warm(self) -> bool:
@@ -330,8 +488,52 @@ class PipelineResult:
         """Per-stage wall seconds (paired stages share their run's time)."""
         return dict(zip(self.names, self.stage_seconds))
 
+    # -- modeled array-time accounting --------------------------------------------
+    def modeled_sequential_steps(self) -> int:
+        """Total modeled array steps executed one stage after another.
+
+        The single-array (single-shard) schedule's modeled completion
+        time: the sum of every stage's ``measured_steps`` (host-epilogue
+        kinds report zero; paired stages each report their shared
+        overlapped run, which both schedules count identically).
+        """
+        return sum(
+            _solution_steps(solution) for solution in self.solutions
+        )
+
+    def modeled_pipeline_steps(self) -> int:
+        """Modeled completion steps of the level-parallel placed schedule.
+
+        Stages on one level are independent; placed on distinct shards
+        (arrays) they run simultaneously in the modeled machine, so a
+        level costs the *maximum* over shards of that shard's summed
+        stage steps — against the sequential schedule's sum.  With no
+        placements recorded every level collapses to one shard and this
+        equals :meth:`modeled_sequential_steps`.
+        """
+        by_level: Dict[int, Dict[int, int]] = {}
+        for index, solution in enumerate(self.solutions):
+            level = self.levels[index] if self.levels else 0
+            shard = self.placements[index] if self.placements else 0
+            shards = by_level.setdefault(level, {})
+            shards[shard] = shards.get(shard, 0) + _solution_steps(solution)
+        return sum(
+            max(shards.values()) for shards in by_level.values() if shards
+        )
+
+    def level_partition(self) -> Tuple[Tuple[str, ...], ...]:
+        """Stage names grouped by dependency level, in level order."""
+        by_level: Dict[int, List[str]] = {}
+        for index, name in enumerate(self.names):
+            level = self.levels[index] if self.levels else 0
+            by_level.setdefault(level, []).append(name)
+        return tuple(
+            tuple(by_level[level]) for level in sorted(by_level)
+        )
+
     def describe(self) -> str:
-        """Multi-line per-graph report: stages, fusion, builds, latency."""
+        """Multi-line per-graph report: level partition, placements, fusion,
+        builds, latency."""
         build_state = "warm" if self.warm else "cold"
         lines = [
             (
@@ -345,10 +547,30 @@ class PipelineResult:
                 f"{self.fused_rewrites} matmul->matvec rewrite(s)"
             ),
         ]
+        partition = " | ".join(
+            f"{level}: " + ", ".join(names)
+            for level, names in zip(
+                sorted({lvl for lvl in (self.levels or (0,) * len(self.names))}),
+                self.level_partition(),
+            )
+        )
+        lines.append(f"  levels:    {partition}")
+        if self.placements:
+            sequential = self.modeled_sequential_steps()
+            pipelined = self.modeled_pipeline_steps()
+            shards = ", ".join(
+                str(shard) for shard in sorted(set(self.placements))
+            )
+            lines.append(
+                f"  placement: shards [{shards}], modeled steps "
+                f"{pipelined} pipelined vs {sequential} sequential"
+            )
         residuals = self.residuals
         for index, (name, solution) in enumerate(zip(self.names, self.solutions)):
             level = self.levels[index] if self.levels else 0
             extra = ""
+            if self.placements:
+                extra += f" @shard {self.placements[index]}"
             if name in residuals:
                 extra += f", residual {residuals[name]:.3e}"
             if solution.stats.get("paired"):

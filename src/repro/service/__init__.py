@@ -11,11 +11,16 @@ Pieces, front to back:
 * :class:`~repro.service.service.SolverService` — the front door.
   ``submit(kind, *operands)`` validates synchronously, returns a
   ``concurrent.futures.Future`` of the usual
-  :class:`~repro.api.solution.Solution`, and routes by plan key:
-  ``shard = hash((kind, shapes, w, options)) % n_shards``.
+  :class:`~repro.api.solution.Solution`, and routes by plan key through
+  the placement table.
+* :class:`~repro.service.placement.PlacementTable` — the explicit
+  key→shard routing layer: a stable (``PYTHONHASHSEED``-independent)
+  default hash policy, per-key ``assign``/``release`` rebalancing, and
+  snapshots of the observed key→shard layout for the fleet telemetry.
 * :class:`~repro.service.backpressure.BoundedRequestQueue` — per-shard
   bounded admission with ``block`` / ``reject`` / ``shed_oldest``
-  overload policies and per-request deadlines.
+  overload policies, per-request deadlines, and a priority *handoff
+  lane* carrying mid-pipeline graph segments between shards.
 * :class:`~repro.service.batcher.AdmissionBatcher` — collects a short
   admission window and groups it by plan key, so same-plan requests flush
   together through ``Solver.solve_batch`` (matvec pairs ride the
@@ -33,14 +38,22 @@ job executes on its plan key's home shard, where the compiled solver
 engine and its inner per-shape plans stay hot across jobs, and the
 telemetry accounts the per-kind sweep totals (``iterations_by_kind``).
 
-Whole pipeline graphs (:mod:`repro.graph`) are first-class requests too:
-``submit_graph(graph)`` routes a multi-stage DAG by the tuple of its
-per-stage plan keys to one home shard, where a shard-local
-:class:`~repro.graph.compiler.GraphCompiler` lowers it against the
-shard's private plan cache — every stage plan compiles once per service,
-and re-submitted same-shaped graphs execute with zero plan builds.  The
-telemetry's pipeline columns (``graphs``, ``graph_stages``,
-``graph_fused``, stage latency percentiles) account them.
+Whole pipeline graphs (:mod:`repro.graph`) are first-class requests too.
+A multi-level graph takes the **cross-shard pipelined path**: the service
+compiles it once against a shared compile solver, splits the program into
+level-aligned :class:`~repro.graph.program.ProgramSegment` units placed
+per stage plan key, and streams the segments across shards through the
+handoff lanes (:mod:`repro.service.pipeline` coordinates each job) —
+independent same-level stages execute on distinct shards, deep graphs
+overlap across requests, and results stay bit-identical to single-shard
+execution.  Single-segment graphs keep the classic home-shard path:
+routed by the tuple of their per-stage plan keys to one shard, where a
+shard-local :class:`~repro.graph.compiler.GraphCompiler` lowers them
+against the private plan cache.  Either way every stage plan compiles
+once per service and re-submitted same-shaped graphs execute with zero
+plan builds.  The telemetry's pipeline columns (``graphs``,
+``graph_stages``, ``graph_fused``, ``segments``, ``handoffs``, stage
+latency percentiles, the placement snapshot) account them.
 
 See ``examples/serving_demo.py`` and ``examples/pipeline_demo.py`` for
 end-to-end tours and ``benchmarks/test_service_throughput.py`` /
@@ -50,6 +63,8 @@ to win.
 
 from .backpressure import BACKPRESSURE_POLICIES, BoundedRequestQueue
 from .batcher import AdmissionBatcher
+from .pipeline import PipelinedGraphJob, SegmentTask
+from .placement import PlacementSnapshot, PlacementTable, stable_placement_hash
 from .request import GraphJob, SolveRequest
 from .service import SolverService
 from .telemetry import ServiceStats, ShardStats, ShardTelemetry
@@ -60,10 +75,15 @@ __all__ = [
     "BACKPRESSURE_POLICIES",
     "BoundedRequestQueue",
     "GraphJob",
+    "PipelinedGraphJob",
+    "PlacementSnapshot",
+    "PlacementTable",
+    "SegmentTask",
     "ServiceStats",
     "ShardStats",
     "ShardTelemetry",
     "ShardWorker",
     "SolveRequest",
     "SolverService",
+    "stable_placement_hash",
 ]

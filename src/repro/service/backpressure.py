@@ -19,6 +19,18 @@ gives way:
 
 The queue is a plain deque under one condition variable; ``close()`` wakes
 every waiter so service shutdown cannot strand a blocked producer.
+
+Cross-shard pipelined graph execution adds a second, higher-priority
+*handoff lane*: when a shard finishes one segment of a pipelined graph,
+the next level's segments enter their target shards through
+:meth:`BoundedRequestQueue.put_handoff` — never blocking (the dispatching
+worker thread must not stall) and never shedding (a mid-pipeline segment
+carries upstream work that would be lost), but bounded by
+``handoff_capacity`` so a stalled shard surfaces
+:class:`~repro.errors.ServiceOverloadedError` instead of queueing without
+limit.  Consumers drain handoffs before admissions — in-flight pipelines
+complete before new work is admitted, which is what keeps the pipeline
+moving and bounds the handoff lane in practice.
 """
 
 from __future__ import annotations
@@ -40,7 +52,12 @@ BACKPRESSURE_POLICIES: Tuple[str, ...] = ("block", "reject", "shed_oldest")
 class BoundedRequestQueue:
     """A bounded FIFO of :class:`SolveRequest` with a pluggable full-queue policy."""
 
-    def __init__(self, maxsize: int, policy: str = "block"):
+    def __init__(
+        self,
+        maxsize: int,
+        policy: str = "block",
+        handoff_capacity: Optional[int] = None,
+    ):
         if maxsize < 1:
             raise ValueError(f"queue maxsize must be >= 1, got {maxsize}")
         if policy not in BACKPRESSURE_POLICIES:
@@ -48,9 +65,18 @@ class BoundedRequestQueue:
             raise ValueError(
                 f"unknown backpressure policy {policy!r}; one of: {known}"
             )
+        if handoff_capacity is not None and handoff_capacity < 1:
+            raise ValueError(
+                f"handoff_capacity must be >= 1, got {handoff_capacity}"
+            )
         self._maxsize = int(maxsize)
         self._policy = policy
+        self._handoff_capacity = (
+            4 * self._maxsize if handoff_capacity is None
+            else int(handoff_capacity)
+        )
         self._items: Deque[SolveRequest] = deque()
+        self._handoffs: Deque[SolveRequest] = deque()
         self._cond = threading.Condition()
         self._closed = False
 
@@ -67,9 +93,24 @@ class BoundedRequestQueue:
     def closed(self) -> bool:
         return self._closed
 
-    def __len__(self) -> int:
+    @property
+    def handoff_capacity(self) -> int:
+        return self._handoff_capacity
+
+    @property
+    def handoff_depth(self) -> int:
+        """Mid-pipeline segments currently parked in the handoff lane."""
         with self._cond:
-            return len(self._items)
+            return len(self._handoffs)
+
+    def __len__(self) -> int:
+        """Total undequeued requests — admissions plus parked handoffs.
+
+        Counting both lanes matters to the draining shutdown path: a
+        worker exits only when *nothing* is left to execute.
+        """
+        with self._cond:
+            return len(self._items) + len(self._handoffs)
 
     # -- producer side ----------------------------------------------------------
     def put(
@@ -118,31 +159,71 @@ class BoundedRequestQueue:
             self._cond.notify_all()
             return None
 
+    def put_handoff(self, request: SolveRequest) -> int:
+        """Park a mid-pipeline segment in the priority handoff lane.
+
+        Never blocks (dispatch runs on a worker thread) and never sheds
+        (the segment carries already-executed upstream levels); a lane at
+        ``handoff_capacity`` raises
+        :class:`~repro.errors.ServiceOverloadedError` so the dispatching
+        worker can fail the whole pipelined request instead of queueing
+        without bound.  Returns the lane depth after the put, for the
+        shard's handoff telemetry.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError(
+                    "cannot hand a segment to a closed service"
+                )
+            if len(self._handoffs) >= self._handoff_capacity:
+                raise ServiceOverloadedError(
+                    f"shard handoff lane full ({self._handoff_capacity} "
+                    f"parked segments); downstream shard cannot keep up"
+                )
+            self._handoffs.append(request)
+            self._cond.notify_all()
+            return len(self._handoffs)
+
     # -- consumer side ----------------------------------------------------------
     def get(self, timeout: Optional[float] = None) -> Optional[SolveRequest]:
         """Dequeue one request, waiting up to ``timeout`` seconds.
 
-        Returns ``None`` on timeout or when the queue is closed and empty
-        (the worker's signal to re-check its stop flag / exit).
+        Handoffs drain first — an in-flight pipeline's next segment beats
+        newly-admitted work, the systolic discipline that keeps upstream
+        results streaming instead of pooling.  Returns ``None`` on
+        timeout or when the queue is closed and empty (the worker's
+        signal to re-check its stop flag / exit).
         """
         with self._cond:
             limit = None if timeout is None else time.monotonic() + timeout
-            while not self._items:
+            while not self._items and not self._handoffs:
                 if self._closed:
                     return None
                 remaining = None if limit is None else limit - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     return None
                 self._cond.wait(remaining)
-            request = self._items.popleft()
+            if self._handoffs:
+                request = self._handoffs.popleft()
+            else:
+                request = self._items.popleft()
             self._cond.notify_all()
             return request
 
     def drain(self, limit: Optional[int] = None) -> List[SolveRequest]:
-        """Dequeue up to ``limit`` immediately-available requests (no wait)."""
+        """Dequeue up to ``limit`` immediately-available requests (no wait).
+
+        Handoffs first, then admissions — the same priority ``get`` uses.
+        """
         with self._cond:
-            count = len(self._items) if limit is None else min(limit, len(self._items))
-            drained = [self._items.popleft() for _ in range(count)]
+            available = len(self._handoffs) + len(self._items)
+            count = available if limit is None else min(limit, available)
+            drained: List[SolveRequest] = []
+            for _ in range(count):
+                if self._handoffs:
+                    drained.append(self._handoffs.popleft())
+                else:
+                    drained.append(self._items.popleft())
             if drained:
                 self._cond.notify_all()
             return drained

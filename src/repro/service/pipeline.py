@@ -1,0 +1,233 @@
+"""Cross-shard pipelined graph jobs: segments, placement, completion.
+
+The classic serving path pins a whole compiled graph to one home shard.
+This module is the coordination layer for the pipelined alternative: the
+service compiles a graph once (against its shared compile solver), splits
+the program into level-aligned :class:`~repro.graph.program.ProgramSegment`
+units placed per plan key by the
+:class:`~repro.service.placement.PlacementTable`, and admits the level-0
+segments to their shards.  Each shard worker that finishes a segment
+reports back to the job, which releases the next level's segments into
+the target shards' *handoff lanes*
+(:meth:`~repro.service.backpressure.BoundedRequestQueue.put_handoff`) —
+macro-systolic flow: stage outputs stream between shards, and level k of
+one request overlaps level k−1 of the next.
+
+A :class:`PipelinedGraphJob` owns the parts every segment needs to agree
+on: the caller's future (resolved exactly once), the shared per-stage
+output/solution/latency slots (segments write index-disjoint entries),
+the level cursor that decides when the next wave dispatches, and the
+failure latch — one failed or shed segment fails the *whole* request and
+makes every sibling segment a no-op, so no orphan ever executes against
+a dead future.
+
+Value flow is bit-identical to :meth:`PipelineProgram.run`: segments only
+dispatch after every segment of the previous level completed, and both
+paths execute identical plans over identical operand bindings in level
+order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from ..api.config import ExecutionOptions
+from ..api.solution import Solution
+from ..graph.program import PipelineProgram, PipelineResult, ProgramSegment
+from .request import SolveRequest
+from .telemetry import ShardTelemetry
+
+__all__ = ["PipelinedGraphJob", "SegmentTask"]
+
+
+@dataclass
+class SegmentTask:
+    """One placed segment of a pipelined graph job.
+
+    Wraps the :class:`ProgramSegment` with its target shard and the
+    :class:`SolveRequest` that carries it through that shard's queue
+    (``request.segment`` points back here; the request's own future is
+    never surfaced — the job's parent future is the caller-visible one).
+    """
+
+    job: "PipelinedGraphJob"
+    position: int
+    shard: int
+    segment: ProgramSegment
+    request: SolveRequest = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.request = SolveRequest(
+            kind="graph_segment",
+            operands=(),
+            plan_key=self.job.graph_key,
+            options=self.job.options,
+            deadline=self.job.deadline,
+            segment=self,
+        )
+
+    @property
+    def level(self) -> int:
+        return self.segment.level
+
+
+class PipelinedGraphJob:
+    """Shared state of one graph request executing across shards.
+
+    All cross-segment coordination (start latch, failure latch, level
+    cursor) serializes on one lock; segment *execution* itself touches
+    only index-disjoint slots of the shared per-stage lists, so shards on
+    the same level run genuinely concurrently.
+    """
+
+    def __init__(
+        self,
+        program: PipelineProgram,
+        graph_key: Hashable,
+        segments: Sequence[ProgramSegment],
+        shards: Sequence[int],
+        home_shard: int,
+        home_telemetry: ShardTelemetry,
+        dispatch: Callable[["SegmentTask"], None],
+        options: Optional[ExecutionOptions] = None,
+        deadline: Optional[float] = None,
+    ):
+        if len(segments) != len(shards):
+            raise ValueError(
+                f"got {len(segments)} segments but {len(shards)} placements"
+            )
+        self.program = program
+        self.graph_key = graph_key
+        self.options = options
+        self.deadline = deadline
+        self.home_shard = home_shard
+        self.home_telemetry = home_telemetry
+        self.dispatch = dispatch
+        self.future: "Future[PipelineResult]" = Future()
+        self.enqueued_at = time.monotonic()
+        # The compile charge is consumed here — at admission — so the
+        # result's warm/cold accounting matches PipelineProgram.run():
+        # charged to the first execution of this program, zero for a
+        # warm-cache recompile.
+        self._compile_charge = program.consume_compile_charge()
+        n = len(program.stages)
+        #: Shared per-stage execution slots; segments write disjoint indices.
+        self.outputs: List[object] = [None] * n
+        self.solutions: List[Optional[Solution]] = [None] * n
+        self.latencies: List[float] = [0.0] * n
+        placements = [0] * n
+        self._tasks_by_level: List[List[SegmentTask]] = []
+        last_level: Optional[int] = None
+        for position, (segment, shard) in enumerate(zip(segments, shards)):
+            task = SegmentTask(
+                job=self, position=position, shard=int(shard), segment=segment
+            )
+            if segment.level != last_level:
+                self._tasks_by_level.append([])
+                last_level = segment.level
+            self._tasks_by_level[-1].append(task)
+            for stage in segment.stages:
+                placements[stage.index] = int(shard)
+        self.placements: Tuple[int, ...] = tuple(placements)
+        self._lock = threading.Lock()
+        self._failed = False
+        self._started = False
+        self._start_ok = False
+        self._clock_start = 0.0
+        self._level_cursor = 0
+        self._pending_in_level = len(self._tasks_by_level[0])
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        return sum(len(tasks) for tasks in self._tasks_by_level)
+
+    @property
+    def failed(self) -> bool:
+        with self._lock:
+            return self._failed
+
+    def first_tasks(self) -> Tuple[SegmentTask, ...]:
+        """The level-0 wave the service admits through the front door."""
+        return tuple(self._tasks_by_level[0])
+
+    def all_tasks(self) -> Tuple[SegmentTask, ...]:
+        return tuple(
+            task for tasks in self._tasks_by_level for task in tasks
+        )
+
+    def latency(self, now: Optional[float] = None) -> float:
+        """Seconds since the job entered the service."""
+        return (time.monotonic() if now is None else now) - self.enqueued_at
+
+    # -- the coordination protocol ------------------------------------------------
+    def mark_running(self) -> bool:
+        """Transition the parent future to RUNNING (first segment only).
+
+        Returns False — and latches the job as failed — when the caller
+        cancelled the future while the job was queued; every sibling
+        segment then drops without executing.
+        """
+        with self._lock:
+            if self._failed:
+                return False
+            if self._started:
+                return self._start_ok
+            self._started = True
+            self._start_ok = self.future.set_running_or_notify_cancel()
+            if self._start_ok:
+                self._clock_start = time.perf_counter()
+            else:
+                self._failed = True
+            return self._start_ok
+
+    def fail(self, exc: BaseException) -> bool:
+        """Fail the whole request; True only for the resolving call.
+
+        Latches ``failed`` either way, so in-flight and still-queued
+        sibling segments become no-ops; callers gate their failure
+        telemetry on the return value (exactly one of several
+        concurrently-failing shards records the job).
+        """
+        with self._lock:
+            self._failed = True
+        try:
+            self.future.set_exception(exc)
+            return True
+        except Exception:
+            return False  # already resolved or cancelled
+
+    def complete_segment(self) -> Tuple[Tuple[SegmentTask, ...], bool]:
+        """Account one finished segment; returns (next wave, finished).
+
+        The next level's tasks are released exactly when the last segment
+        of the current level lands; ``finished`` is True exactly once —
+        for the segment that completed the final level.
+        """
+        with self._lock:
+            if self._failed:
+                return (), False
+            self._pending_in_level -= 1
+            if self._pending_in_level > 0:
+                return (), False
+            self._level_cursor += 1
+            if self._level_cursor >= len(self._tasks_by_level):
+                return (), True
+            wave = tuple(self._tasks_by_level[self._level_cursor])
+            self._pending_in_level = len(wave)
+            return wave, False
+
+    def assemble(self) -> PipelineResult:
+        """Fold the executed slots into the caller-visible result."""
+        return self.program.assemble(
+            self.solutions,
+            self.outputs,
+            self.latencies,
+            total_seconds=time.perf_counter() - self._clock_start,
+            compile_plan_builds=self._compile_charge,
+            placements=self.placements,
+        )

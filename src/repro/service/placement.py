@@ -1,0 +1,231 @@
+"""Explicit plan placement: which shard owns which plan key.
+
+Routing used to be an arithmetic accident — ``hash(plan_key) % n_shards``
+— with two problems this module exists to fix.  First, Python salts
+``str`` hashes per interpreter (``PYTHONHASHSEED``), so any key carrying a
+kind string routed *differently across processes*: a warm shard layout
+could not be reproduced, compared, or reasoned about between runs.
+Second, the mapping was invisible and immutable — no way to inspect where
+a hot key lives, and no way to move it.
+
+:func:`stable_placement_hash` replaces the salted hash with a keyed-less
+BLAKE2b digest over a canonical byte encoding of the key (strings, ints,
+floats, tuples, and the frozen option dataclasses that appear in plan
+keys), so a key's shard is a pure function of the key and the shard
+count — identical in every process, on every run.
+
+:class:`PlacementTable` makes the mapping a first-class object: the
+default policy is the stable hash modulo ``n_shards``, per-key overrides
+rebalance individual keys (``assign`` / ``release``), and
+:meth:`snapshot` exposes the table — default policy traffic, override
+hits, and the recently-routed key→shard assignments — to the service's
+fleet telemetry.
+
+The same-key→same-shard discipline is also the serving layer's
+thread-safety contract: plan executors are stateful (simulator arrays,
+lazily-warmed inner engines), and placing every lookup of a key on one
+shard serializes every execution of that key's plan on one thread.
+``assign`` therefore only governs *subsequent* lookups; in-flight work
+keeps the placement it was admitted under, and operators rebalancing a
+hot key should quiesce it first (the table does not migrate running
+work).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import numbers
+import threading
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Dict, Hashable, List, Mapping
+
+__all__ = ["PlacementSnapshot", "PlacementTable", "stable_placement_hash"]
+
+#: How many recently-routed keys a table keeps for snapshots, by default.
+DEFAULT_TRACK_LIMIT = 256
+
+
+def _encode(value: Any, out: List[bytes]) -> None:
+    """Append a canonical, type-prefixed byte encoding of ``value``.
+
+    Covers exactly the value types that occur in routing keys — ``None``,
+    bools, ints, floats, strings, bytes, tuples/lists, and frozen
+    dataclasses (:class:`~repro.api.config.ExecutionOptions`,
+    :class:`~repro.iterative.criteria.ConvergenceCriteria`) — each behind
+    a distinct prefix so no two different values share an encoding.
+    """
+    if value is None:
+        out.append(b"n;")
+    elif isinstance(value, bool):
+        out.append(b"b1;" if value else b"b0;")
+    elif isinstance(value, numbers.Integral):
+        out.append(b"i%d;" % int(value))
+    elif isinstance(value, numbers.Real):
+        # repr() round-trips doubles exactly and is stable across
+        # platforms for the finite values option fields hold.
+        out.append(b"f" + repr(float(value)).encode("ascii") + b";")
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(b"s%d:" % len(data))
+        out.append(data)
+    elif isinstance(value, bytes):
+        out.append(b"y%d:" % len(value))
+        out.append(value)
+    elif isinstance(value, (tuple, list)):
+        out.append(b"t%d:" % len(value))
+        for item in value:
+            _encode(item, out)
+    elif is_dataclass(value) and not isinstance(value, type):
+        out.append(b"d" + type(value).__name__.encode("utf-8") + b":")
+        for field_info in fields(value):
+            _encode(field_info.name, out)
+            _encode(getattr(value, field_info.name), out)
+        out.append(b";")
+    else:
+        raise TypeError(
+            f"cannot derive a stable placement for a routing key containing "
+            f"{type(value).__name__!r}; placement keys are built from None, "
+            f"bools, numbers, strings, tuples and frozen option dataclasses"
+        )
+
+
+def stable_placement_hash(key: Hashable) -> int:
+    """A process-independent 64-bit hash of a routing key.
+
+    Unlike built-in ``hash()`` — whose ``str`` component is salted per
+    interpreter via ``PYTHONHASHSEED`` — this digest depends only on the
+    key's value, so ``stable_placement_hash(key) % n_shards`` names the
+    same shard in every process, every run.
+    """
+    encoded: List[bytes] = []
+    _encode(key, encoded)
+    digest = hashlib.blake2b(b"".join(encoded), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class PlacementSnapshot:
+    """Immutable view of one :class:`PlacementTable` for telemetry."""
+
+    n_shards: int
+    #: Total ``shard_of`` lookups served.
+    lookups: int
+    #: Lookups answered by a per-key override rather than the hash policy.
+    override_hits: int
+    #: The current explicit key→shard overrides.
+    overrides: Mapping[Hashable, int]
+    #: Recently-routed key→shard assignments (bounded; newest kept).
+    assignments: Mapping[Hashable, int]
+
+    @property
+    def shard_load(self) -> Mapping[int, int]:
+        """Tracked keys per shard — the observable placement balance."""
+        load: Dict[int, int] = {}
+        for shard in self.assignments.values():
+            load[shard] = load.get(shard, 0) + 1
+        return load
+
+    def describe(self) -> str:
+        load = ", ".join(
+            f"shard {shard}: {count} key(s)"
+            for shard, count in sorted(self.shard_load.items())
+        )
+        return (
+            f"PlacementTable over {self.n_shards} shard(s): "
+            f"{self.lookups} lookup(s), {len(self.overrides)} override(s) "
+            f"({self.override_hits} hit(s)){'; ' + load if load else ''}"
+        )
+
+
+class PlacementTable:
+    """Inspectable, rebalanceable key→shard mapping for the serving layer.
+
+    ``shard_of`` is the single routing entry point: explicit overrides
+    win, everything else falls to the stable-hash default policy.  All
+    methods are thread-safe (one lock; lookups are dict probes).
+    """
+
+    def __init__(self, n_shards: int, track_limit: int = DEFAULT_TRACK_LIMIT):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if track_limit < 0:
+            raise ValueError(f"track_limit must be >= 0, got {track_limit}")
+        self._n_shards = int(n_shards)
+        self._track_limit = int(track_limit)
+        self._lock = threading.Lock()
+        self._overrides: Dict[Hashable, int] = {}
+        self._assignments: Dict[Hashable, int] = {}
+        self._lookups = 0
+        self._override_hits = 0
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    def shard_of(self, key: Hashable) -> int:
+        """The shard that owns ``key`` (override first, stable hash else)."""
+        with self._lock:
+            self._lookups += 1
+            shard = self._overrides.get(key)
+            if shard is not None:
+                self._override_hits += 1
+            else:
+                shard = stable_placement_hash(key) % self._n_shards
+            self._track(key, shard)
+            return shard
+
+    def _track(self, key: Hashable, shard: int) -> None:
+        """Record a routed key for snapshots, evicting oldest past the cap."""
+        if self._track_limit == 0:
+            return
+        self._assignments.pop(key, None)  # re-insert as newest
+        self._assignments[key] = shard
+        while len(self._assignments) > self._track_limit:
+            self._assignments.pop(next(iter(self._assignments)))
+
+    # -- rebalance API ------------------------------------------------------------
+    def assign(self, key: Hashable, shard: int) -> None:
+        """Pin ``key`` to ``shard``, overriding the default policy.
+
+        Governs *subsequent* lookups only: work already admitted under the
+        previous placement finishes where it was routed.  Because one
+        key's plan executor is stateful and thread-serialized by its
+        placement, rebalance a key only when it is quiescent.
+        """
+        if not 0 <= shard < self._n_shards:
+            raise ValueError(
+                f"shard must be in [0, {self._n_shards}), got {shard}"
+            )
+        with self._lock:
+            self._overrides[key] = int(shard)
+
+    def release(self, key: Hashable) -> bool:
+        """Drop ``key``'s override (back to the hash policy); False if none."""
+        with self._lock:
+            return self._overrides.pop(key, None) is not None
+
+    def overrides(self) -> Dict[Hashable, int]:
+        """A copy of the current explicit overrides."""
+        with self._lock:
+            return dict(self._overrides)
+
+    # -- observability ------------------------------------------------------------
+    def snapshot(self) -> PlacementSnapshot:
+        with self._lock:
+            return PlacementSnapshot(
+                n_shards=self._n_shards,
+                lookups=self._lookups,
+                override_hits=self._override_hits,
+                overrides=dict(self._overrides),
+                assignments=dict(self._assignments),
+            )
+
+    def describe(self) -> str:
+        return self.snapshot().describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"PlacementTable(n_shards={self._n_shards}, "
+                f"overrides={len(self._overrides)}, lookups={self._lookups})"
+            )

@@ -13,6 +13,13 @@ the tuple of the graph's per-stage plan keys, so a multi-stage graph
 always lands on the one shard holding every stage plan warm, and the
 worker compiles/executes it through its shard-local
 :class:`~repro.graph.compiler.GraphCompiler`.
+
+Cross-shard *pipelined* graph jobs split instead into per-level segment
+requests: each carries a
+:class:`~repro.service.pipeline.SegmentTask` in ``segment`` and resolves
+the shared parent future through its
+:class:`~repro.service.pipeline.PipelinedGraphJob` rather than its own
+(never-surfaced) future.
 """
 
 from __future__ import annotations
@@ -20,9 +27,12 @@ from __future__ import annotations
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple, TYPE_CHECKING
 
 from ..api.config import ExecutionOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import SegmentTask
 
 __all__ = ["GraphJob", "SolveRequest"]
 
@@ -65,6 +75,10 @@ class SolveRequest:
     options: Optional[ExecutionOptions] = None
     kwargs: Dict[str, Any] = field(default_factory=dict)
     graph: Optional[GraphJob] = None
+    #: One placed segment of a cross-shard pipelined graph job; the worker
+    #: executes it against the parent job's shared state instead of this
+    #: request's own future.
+    segment: Optional["SegmentTask"] = None
     deadline: Optional[float] = None
     future: "Future[Any]" = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
@@ -72,7 +86,7 @@ class SolveRequest:
     @property
     def batchable(self) -> bool:
         """Whether the request may ride a multi-entry ``solve_batch`` flush."""
-        return not self.kwargs and self.graph is None
+        return not self.kwargs and self.graph is None and self.segment is None
 
     def expired(self, now: Optional[float] = None) -> bool:
         """True when the request's deadline has already passed."""

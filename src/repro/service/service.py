@@ -15,30 +15,44 @@
 see — unknown kinds and bad *primary-operand* shapes fail at the call
 site; mismatches among the remaining operands (a wrong-length ``x``)
 surface through the future, isolated to the offending request — then
-routes the request to shard ``hash(plan_key) % n_shards``.  Determinism of that routing is the core
-scaling trick: a given plan compiles once per service — on the one shard
-that will ever see it — and every subsequent same-shape request hits that
-shard's warm cache.  The admission batcher then flushes same-plan
-neighbours together, so a burst of identical requests costs one queue
-round-trip and, for matvec, rides the paper's overlapped contraflow
-execution in pairs.
+routes the request through the service's
+:class:`~repro.service.placement.PlacementTable`: an explicit key→shard
+mapping whose default policy is a *stable* (PYTHONHASHSEED-independent)
+hash, inspectable via ``service.placement`` and rebalanceable per key.
+Determinism of that routing is the core scaling trick: a given plan
+compiles once per service — on the one shard that will ever see it — and
+every subsequent same-shape request hits that shard's warm cache.  The
+admission batcher then flushes same-plan neighbours together, so a burst
+of identical requests costs one queue round-trip and, for matvec, rides
+the paper's overlapped contraflow execution in pairs.
+
+Multi-level graphs take the *pipelined* path: ``submit_graph`` compiles
+the graph once against the service's shared compile solver, splits the
+program into level-aligned segments placed per stage plan key, and
+streams segments across shards through bounded handoff lanes — level k
+of one request overlaps level k−1 of the next (the paper's systolic flow
+lifted one architectural layer up), with results bit-identical to
+single-shard :meth:`~repro.graph.program.PipelineProgram.run`.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import Future
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
 from ..api.config import ArraySpec, ExecutionOptions
 from ..api.plan import PlanKey
 from ..api.solution import Solution
 from ..api.solver import Solver
 from ..errors import ServiceClosedError, ServiceOverloadedError
+from ..graph.compiler import GraphCompiler
 from ..graph.graph import Graph, as_graph
 from ..graph.problems import Problem
-from ..graph.program import PipelineResult
+from ..graph.program import PipelineProgram, PipelineResult, ProgramSegment
 from .backpressure import BACKPRESSURE_POLICIES, BoundedRequestQueue
+from .pipeline import PipelinedGraphJob, SegmentTask
+from .placement import PlacementTable
 from .request import GraphJob, SolveRequest
 from .telemetry import ServiceStats, ShardTelemetry
 from .workers import ShardWorker
@@ -104,6 +118,16 @@ class SolverService:
         self._policy = backpressure
         self._submit_timeout = submit_timeout
         self._closed = False
+        self._placement = PlacementTable(int(n_shards))
+        # Pipelined graphs compile here — one shared, lock-guarded plan
+        # cache — so a re-submitted graph splits into segments carrying
+        # the *same* warm plan objects (zero rebuilds), and a given plan
+        # key always executes on its one placed shard.  Kept out of
+        # ``stats().cache``: that column reports the shard-local serving
+        # caches.
+        self._compile_solver = Solver(
+            self._spec, self._options, plan_cache_size=plan_cache_size
+        )
         self._shards: List[ShardWorker] = []
         for shard_id in range(int(n_shards)):
             queue = BoundedRequestQueue(queue_depth, policy=backpressure)
@@ -165,13 +189,25 @@ class SolverService:
             kind, *operands, shape=shape, options=options
         )
 
+    @property
+    def placement(self) -> PlacementTable:
+        """The routing table: inspect (``snapshot()``), pin (``assign``)
+        or release per-key shard placements.  Rebalancing governs
+        subsequent lookups only — quiesce a key before moving it."""
+        return self._placement
+
     def shard_index(self, key: "PlanKey | Any") -> int:
-        """Which shard a routing key maps to (stable within this process).
+        """Which shard a routing key maps to (stable across processes).
 
         Single solves route by their 4-tuple plan key; whole-pipeline
-        jobs by ``("__graph__", stage keys, w, options)``.
+        jobs by ``("__graph__", stage keys, w, options)``; pipelined
+        graph *segments* by their individual stage plan keys.  Routing
+        goes through the :class:`PlacementTable`, whose default policy is
+        a stable value hash — unlike built-in ``hash()``, it does not
+        vary with ``PYTHONHASHSEED``, so a warm shard layout reproduces
+        run to run.
         """
-        return hash(key) % len(self._shards)
+        return self._placement.shard_of(key)
 
     # -- the serving surface ------------------------------------------------------
     def submit(
@@ -223,22 +259,30 @@ class SolverService:
         fuse: bool = False,
         options: Optional[ExecutionOptions] = None,
         timeout: Optional[float] = None,
+        pipeline: Optional[bool] = None,
     ) -> "Future[PipelineResult]":
         """Admit a whole pipeline graph; returns the future of its result.
 
         The graph (or single typed problem) is validated synchronously —
         cycles, unknown kinds and cross-stage shape mismatches fail at
-        the call site — and routed *as a unit* by the tuple of its
-        per-stage plan keys, so every submission of a same-shaped
-        pipeline lands on the one shard where all of its stage plans
-        compiled the first time: after warmup a multi-stage graph
-        executes shard-local with zero recompiles.  The future resolves
-        to a :class:`~repro.graph.program.PipelineResult`.
+        the call site.  Multi-level graphs on a multi-shard service take
+        the *pipelined* path: the program compiles once against the
+        service's shared compile solver, splits into level-aligned
+        segments placed per stage plan key, and streams across shards
+        through the handoff lanes — bit-identical to single-shard
+        execution, but independent same-level stages run on distinct
+        shards and deep graphs overlap across requests.  Single-segment
+        graphs keep the classic home-shard path, routed *as a unit* by
+        the tuple of their per-stage plan keys (zero recompiles after
+        warmup either way).  The future resolves to a
+        :class:`~repro.graph.program.PipelineResult`.
 
         ``fuse`` opts into the matmul→matvec associativity rewrite
         (changes floating-point association; routing still uses the
         unfused keys, so fused and unfused submissions of one graph
-        share a home shard).
+        share a home shard).  ``pipeline=False`` forces the classic
+        single-shard path; ``pipeline=True`` merely *allows* splitting
+        (a single-segment program still runs home-shard).
         """
         if self._closed:
             raise ServiceClosedError("cannot submit to a closed service")
@@ -246,13 +290,23 @@ class SolverService:
         base = options if options is not None else self._options
         stage_keys = graph.plan_keys(self._spec.w, base)
         key = ("__graph__", stage_keys, self._spec.w, base)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if pipeline is not False and len(self._shards) > 1:
+            program = GraphCompiler(
+                self._compile_solver, fuse=fuse, options=options
+            ).compile(graph)
+            segments = program.segments(self._placement.shard_of)
+            if len(segments) > 1:
+                return self._admit_pipelined(
+                    program, key, segments, options, deadline
+                )
         request = SolveRequest(
             kind="graph",
             operands=(),
             plan_key=key,
             options=options,
             graph=GraphJob(graph=graph, fuse=fuse),
-            deadline=None if timeout is None else time.monotonic() + timeout,
+            deadline=deadline,
         )
         return self._admit(request)
 
@@ -266,15 +320,93 @@ class SolverService:
             raise
         worker.telemetry.record_submitted(request.kind, len(worker.queue))
         if shed is not None:
-            worker.telemetry.record_shed()
-            shed.fail(
-                ServiceOverloadedError(
-                    f"request shed after {shed.latency():.3f}s queued: a "
-                    f"newer request arrived on a full shard queue "
-                    f"(policy 'shed_oldest')"
-                )
-            )
+            self._fail_shed(worker, shed)
         return request.future
+
+    def _admit_pipelined(
+        self,
+        program: PipelineProgram,
+        key: Hashable,
+        segments: Tuple[ProgramSegment, ...],
+        options: Optional[ExecutionOptions],
+        deadline: Optional[float],
+    ) -> "Future[PipelineResult]":
+        """Admit one cross-shard pipelined graph job.
+
+        The level-0 wave enters through the shards' *admission* queues —
+        subject to the service's backpressure policy exactly like any
+        request — while later levels will flow worker-to-worker through
+        the handoff lanes.  Whole-job accounting (submitted / completed /
+        graph rows) lands on the job's home shard: the one the graph key
+        routes to, so pipelined and classic submissions of the same graph
+        report to the same place.
+        """
+        home = self._placement.shard_of(key)
+        job = PipelinedGraphJob(
+            program=program,
+            graph_key=key,
+            segments=segments,
+            shards=[
+                self._placement.shard_of(segment.stages[0].plan.key)
+                for segment in segments
+            ],
+            home_shard=home,
+            home_telemetry=self._shards[home].telemetry,
+            dispatch=self._dispatch_segment,
+            options=options,
+            deadline=deadline,
+        )
+        for task in job.first_tasks():
+            worker = self._shards[task.shard]
+            try:
+                shed = worker.queue.put(task.request, timeout=self._submit_timeout)
+            except ServiceOverloadedError as exc:
+                worker.telemetry.record_rejected()
+                # Level-0 siblings already queued on other shards become
+                # no-ops: the job is latched failed before they execute.
+                job.fail(exc)
+                raise
+            except ServiceClosedError as exc:
+                job.fail(exc)
+                raise
+            if shed is not None:
+                self._fail_shed(worker, shed)
+        home_worker = self._shards[home]
+        home_worker.telemetry.record_submitted("graph", len(home_worker.queue))
+        return job.future
+
+    def _dispatch_segment(self, task: SegmentTask) -> None:
+        """Hand one next-level segment to its shard's handoff lane.
+
+        Called by whichever worker completed a level; raises (for the
+        caller to fail the whole job) when the target lane is full or the
+        service is closing.
+        """
+        worker = self._shards[task.shard]
+        try:
+            depth = worker.queue.put_handoff(task.request)
+        except ServiceOverloadedError:
+            worker.telemetry.record_handoff_rejected()
+            raise
+        worker.telemetry.record_handoff(depth)
+
+    def _fail_shed(self, worker: ShardWorker, shed: SolveRequest) -> None:
+        """Fail a request evicted under ``shed_oldest``.
+
+        A shed *segment* fails its whole pipelined job — its siblings
+        (queued, in flight, or yet to dispatch) all become no-ops — so a
+        mid-pipeline eviction can never strand a partial graph.
+        """
+        worker.telemetry.record_shed()
+        exc = ServiceOverloadedError(
+            f"request shed after {shed.latency():.3f}s queued: a "
+            f"newer request arrived on a full shard queue "
+            f"(policy 'shed_oldest')"
+        )
+        if shed.segment is not None:
+            shed.segment.job.fail(exc)
+        else:
+            shed.fail(exc)
 
     def solve(
         self,
@@ -332,7 +464,8 @@ class SolverService:
                     len(worker.queue), worker.solver.cache_stats
                 )
                 for worker in self._shards
-            ]
+            ],
+            placement=self._placement.snapshot(),
         )
 
     # -- lifecycle ---------------------------------------------------------------
@@ -358,7 +491,13 @@ class SolverService:
         closed = ServiceClosedError("service closed before the request ran")
         for worker in self._shards:
             for request in worker.queue.drain():
-                if request.fail(closed):
+                task = request.segment
+                if task is not None:
+                    if task.job.fail(closed):
+                        task.job.home_telemetry.record_failed(
+                            task.job.latency()
+                        )
+                elif request.fail(closed):
                     worker.telemetry.record_failed(request.latency())
 
     def __enter__(self) -> "SolverService":

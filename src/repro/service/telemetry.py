@@ -23,6 +23,7 @@ from typing import Deque, List, Mapping, Optional, Sequence, Tuple
 
 from ..api.plan import CacheStats
 from ..instrumentation import counters as _instrumentation_counters
+from .placement import PlacementSnapshot
 
 __all__ = ["ShardStats", "ShardTelemetry", "ServiceStats", "percentile"]
 
@@ -92,6 +93,15 @@ class ShardStats:
     #: Stage executions per kind across pipeline jobs (the per-layer view:
     #: an MLP graph shows up as dense/bias/relu/quantize/dequantize here).
     graph_stages_by_kind: Mapping[str, int] = field(default_factory=dict)
+    #: Pipelined-graph segments this shard executed (each a level-aligned
+    #: slice of some cross-shard pipelined job).
+    segments: int = 0
+    #: Mid-pipeline segments handed *to* this shard's handoff lane.
+    handoffs: int = 0
+    #: Handoffs refused because this shard's handoff lane was full.
+    handoffs_rejected: int = 0
+    #: High-water depth of this shard's handoff lane.
+    max_handoff_depth: int = 0
 
     def describe(self) -> str:
         """One-shard, one-paragraph report (``ServiceStats.describe`` uses it)."""
@@ -112,6 +122,13 @@ class ShardStats:
                 f"(depth {self.graph_levels / self.graphs:.1f}, "
                 f"{self.graph_fused} fused, stage p95 "
                 f"{_ms(self.stage_latency_p95)})"
+            )
+        if self.segments or self.handoffs:
+            line += (
+                f", {self.segments} segment(s) executed, "
+                f"{self.handoffs} handoff(s) in "
+                f"({self.handoffs_rejected} rejected, lane high-water "
+                f"{self.max_handoff_depth})"
             )
         return line
 
@@ -147,6 +164,10 @@ class ShardTelemetry:
         self._stage_latencies: Deque[float] = deque(
             maxlen=LATENCY_RESERVOIR_SIZE
         )
+        self._segments = 0
+        self._handoffs = 0
+        self._handoffs_rejected = 0
+        self._max_handoff_depth = 0
 
     # -- admission events (submitting threads) -----------------------------------
     def record_submitted(self, kind: str, queue_depth: int) -> None:
@@ -214,6 +235,27 @@ class ShardTelemetry:
             self._graph_stages_by_kind.update(kinds)
             self._stage_latencies.extend(stage_latencies)
 
+    def record_segment(self) -> None:
+        """Account one pipelined-graph segment executed on this shard."""
+        with self._lock:
+            self._segments += 1
+
+    def record_handoff(self, depth: int) -> None:
+        """Account one segment parked in this shard's handoff lane.
+
+        ``depth`` is the lane depth right after the put; the high-water
+        mark is the leak detector — a drained service should always show
+        a zero *current* lane depth no matter how high the mark went.
+        """
+        with self._lock:
+            self._handoffs += 1
+            if depth > self._max_handoff_depth:
+                self._max_handoff_depth = depth
+
+    def record_handoff_rejected(self) -> None:
+        with self._lock:
+            self._handoffs_rejected += 1
+
     def record_failed(self, latency: float) -> None:
         with self._lock:
             self._failed += 1
@@ -254,6 +296,10 @@ class ShardTelemetry:
                 stage_latency_sample=stage_sample,
                 graph_levels=self._graph_levels,
                 graph_stages_by_kind=dict(self._graph_stages_by_kind),
+                segments=self._segments,
+                handoffs=self._handoffs,
+                handoffs_rejected=self._handoffs_rejected,
+                max_handoff_depth=self._max_handoff_depth,
             )
 
     def describe(
@@ -295,9 +341,22 @@ class ServiceStats:
     stage_latency_p95: Optional[float] = None
     graph_levels: int = 0
     graph_stages_by_kind: Mapping[str, int] = field(default_factory=dict)
+    #: Pipelined-graph segment executions summed across shards.
+    segments: int = 0
+    #: Mid-pipeline handoffs between shards (and how many were refused).
+    handoffs: int = 0
+    handoffs_rejected: int = 0
+    max_handoff_depth: int = 0
+    #: The routing table's view: lookups, overrides, tracked key→shard
+    #: assignments (``None`` for snapshots built without a service).
+    placement: Optional[PlacementSnapshot] = None
 
     @classmethod
-    def aggregate(cls, shards: Sequence[ShardStats]) -> "ServiceStats":
+    def aggregate(
+        cls,
+        shards: Sequence[ShardStats],
+        placement: Optional[PlacementSnapshot] = None,
+    ) -> "ServiceStats":
         by_kind: "Counter[str]" = Counter()
         histogram: "Counter[int]" = Counter()
         iterations: "Counter[str]" = Counter()
@@ -338,6 +397,13 @@ class ServiceStats:
             stage_latency_p95=percentile(pooled_stages, 0.95),
             graph_levels=sum(s.graph_levels for s in shards),
             graph_stages_by_kind=dict(stages_by_kind),
+            segments=sum(s.segments for s in shards),
+            handoffs=sum(s.handoffs for s in shards),
+            handoffs_rejected=sum(s.handoffs_rejected for s in shards),
+            max_handoff_depth=max(
+                (s.max_handoff_depth for s in shards), default=0
+            ),
+            placement=placement,
         )
 
     @property
@@ -399,6 +465,15 @@ class ServiceStats:
                 for kind, count in sorted(self.graph_stages_by_kind.items())
             )
             lines.append(f"  stage kinds: {stage_kinds}")
+        if self.segments or self.handoffs:
+            lines.append(
+                f"  segments:    {self.segments} executed, "
+                f"{self.handoffs} cross-shard handoff(s) "
+                f"({self.handoffs_rejected} rejected, lane high-water "
+                f"{self.max_handoff_depth})"
+            )
+        if self.placement is not None:
+            lines.append(f"  placement:   {self.placement.describe()}")
         if self.batch_size_histogram:
             histogram = ", ".join(
                 f"{size}x{count}"

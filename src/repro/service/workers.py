@@ -18,8 +18,12 @@ jobs (requests carrying a :class:`~repro.service.request.GraphJob`)
 compile and execute through a shard-local
 :class:`~repro.graph.compiler.GraphCompiler` bound to the shard's private
 solver, so every stage plan of a routed graph compiles once per service
-and re-submissions execute with zero plan builds.  All failures resolve
-futures; the worker thread itself never dies on a request error.
+and re-submissions execute with zero plan builds.  *Pipelined* graph jobs
+(requests carrying a :class:`~repro.service.pipeline.SegmentTask`)
+execute one placed program segment against the parent job's shared state,
+then hand the next level's segments to their shards' handoff lanes — the
+cross-shard macro-systolic path.  All failures resolve futures; the
+worker thread itself never dies on a request error.
 """
 
 from __future__ import annotations
@@ -105,11 +109,30 @@ class ShardWorker:
                     "service closed without draining pending requests"
                 )
                 for request in window:
-                    if request.fail(closed):
-                        self.telemetry.record_failed(request.latency())
+                    self._fail_undrained(request, closed)
                 continue
-            for group in AdmissionBatcher.group_by_plan(window):
+            # Segments first: they arrived through the priority handoff
+            # lane (or are a pipeline's admission wave) and upstream
+            # shards may already be blocked on their output.
+            plain: List[SolveRequest] = []
+            for request in window:
+                if request.segment is not None:
+                    self._execute_segment(request)
+                else:
+                    plain.append(request)
+            for group in AdmissionBatcher.group_by_plan(plain):
                 self._execute_group(group)
+
+    def _fail_undrained(
+        self, request: SolveRequest, closed: ServiceClosedError
+    ) -> None:
+        """Resolve one abandoned request on a non-draining shutdown."""
+        task = request.segment
+        if task is not None:
+            if task.job.fail(closed):
+                task.job.home_telemetry.record_failed(task.job.latency())
+        elif request.fail(closed):
+            self.telemetry.record_failed(request.latency())
 
     def _execute_group(self, group: List[SolveRequest]) -> None:
         """Flush one plan-keyed group, resolving every member's future."""
@@ -220,3 +243,63 @@ class ShardWorker:
         for kind, solution in zip(result.kinds, result.solutions):
             self._record_iterations(kind, solution)
         request.future.set_result(result)
+
+    def _execute_segment(self, request: SolveRequest) -> None:
+        """Run one placed segment of a cross-shard pipelined graph job.
+
+        The parent job coordinates everything cross-segment: a sibling's
+        failure (or a shed, or a caller cancel) makes this a no-op, the
+        level cursor releases the next wave into the handoff lanes, and
+        the segment that lands the final level assembles the result and
+        resolves the parent future.  All whole-job telemetry (completed /
+        failed / expired / graph rows) goes to the job's *home* shard so
+        the fleet snapshot counts each pipelined graph exactly once;
+        this shard records only its own segment execution.
+        """
+        task = request.segment
+        assert task is not None
+        job = task.job
+        if job.failed:
+            return  # a sibling already failed the whole request
+        if request.expired():
+            if job.fail(
+                DeadlineExceededError(
+                    f"pipelined graph request exceeded its deadline after "
+                    f"{job.latency():.3f}s (level {task.level} still queued)"
+                )
+            ):
+                job.home_telemetry.record_expired()
+            return
+        if not job.mark_running():
+            return  # caller cancelled while the job was queued
+        try:
+            task.segment.execute(job.outputs, job.solutions, job.latencies)
+        except Exception as exc:
+            if job.fail(exc):
+                job.home_telemetry.record_failed(job.latency())
+            return
+        self.telemetry.record_segment()
+        next_wave, finished = job.complete_segment()
+        for next_task in next_wave:
+            try:
+                job.dispatch(next_task)
+            except Exception as exc:
+                if job.fail(exc):
+                    job.home_telemetry.record_failed(job.latency())
+                return
+        if not finished:
+            return
+        result = job.assemble()
+        job.home_telemetry.record_completed(job.latency())
+        job.home_telemetry.record_graph(
+            stages=len(result.solutions),
+            fused=result.fused_pairs + result.fused_rewrites,
+            stage_latencies=result.stage_seconds,
+            levels=(max(result.levels) + 1) if result.levels else 0,
+            kinds=result.kinds,
+        )
+        for kind, solution in zip(result.kinds, result.solutions):
+            iterations = solution.stats.get("iterations")
+            if isinstance(iterations, int) and iterations > 0:
+                job.home_telemetry.record_iterations(kind, iterations)
+        job.future.set_result(result)

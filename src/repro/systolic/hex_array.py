@@ -32,8 +32,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from ..errors import ArraySizeError, FeedbackError, ScheduleError, ShapeError, SimulationError
 from ..matrices.banded import BandMatrix
 from ..matrices.padding import validate_array_size

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.dbt import DBTByRowsTransform
 from repro.core.dbt_transposed import (

@@ -23,7 +23,6 @@ from repro.errors import (
     ShapeError,
 )
 from repro.graph import (
-    CG,
     LU,
     Graph,
     GraphCompiler,
@@ -35,7 +34,6 @@ from repro.graph import (
     Ref,
     Refine,
     SOR,
-    Sparse,
     Triangular,
     problem_types,
 )
@@ -323,9 +321,9 @@ class TestGraphCompiler:
 
         reference = Solver(ArraySpec(W))
         s = reference.solve("matvec", a, x).values
-        l = reference.solve("matvec", b, s).values
-        r = reference.solve("matvec", c, s).values
-        expected = reference.solve("matvec", d, l, r).values
+        left = reference.solve("matvec", b, s).values
+        right = reference.solve("matvec", c, s).values
+        expected = reference.solve("matvec", d, left, right).values
         assert np.array_equal(result.output("sink"), expected)
 
     def test_pairing_defers_until_both_partners_inputs_exist(self, rng):
@@ -541,6 +539,116 @@ class TestGraphCompiler:
         with pytest.raises(KeyError, match="only"):
             result.output("missing")
         assert result.values is result.output("only")
+
+
+class TestProgramSegments:
+    """The level-aligned partition the cross-shard serving layer executes."""
+
+    def _chain(self, rng, n=6):
+        a, b = (rng.normal(size=(n, n)) for _ in range(2))
+        z = rng.normal(size=n)
+        product = MatMul(a, b, name="product")
+        projected = MatVec(product, z, name="projected")
+        return Graph(projected)
+
+    def test_segments_partition_by_level(self, rng):
+        program = GraphCompiler(Solver(ArraySpec(W))).compile(
+            self._chain(rng)
+        )
+        segments = program.segments()
+        assert [segment.level for segment in segments] == [0, 1]
+        covered = [
+            index for segment in segments for index in segment.stage_indices
+        ]
+        assert sorted(covered) == list(range(len(program.stages)))
+        assert segments[0].plan_keys()[0][0] == "matmul"
+
+    def test_placement_splits_levels_per_shard(self, rng):
+        n = 6
+        a, b = (rng.normal(size=(n, n)) for _ in range(2))
+        x = rng.normal(size=n)
+        # Level 0 holds two different-kind stages; a placement that
+        # separates the kinds must split that level into two segments.
+        graph = Graph(
+            MatMul(a, b, name="product"), MatVec(a, x, name="projected")
+        )
+        program = GraphCompiler(Solver(ArraySpec(W))).compile(graph)
+        by_kind = {"matmul": 0, "matvec": 1}
+        segments = program.segments(lambda key: by_kind[key[0]])
+        assert [segment.level for segment in segments] == [0, 0]
+        assert [len(segment.stages) for segment in segments] == [1, 1]
+
+    def test_pairs_stay_intra_segment_under_placement(self, rng):
+        n = 6
+        a, b = (rng.normal(size=(n, n)) for _ in range(2))
+        x = rng.normal(size=n)
+        graph = Graph(
+            MatVec(a, x, name="left"), MatVec(b, x, name="right")
+        )
+        program = GraphCompiler(Solver(ArraySpec(W))).compile(graph)
+        assert program.pairs  # the compiler paired the same-plan stages
+        # Pair members share one plan, hence one placement: any key-based
+        # placement keeps the pair inside a single segment.
+        segments = program.segments(lambda key: 3)
+        assert len(segments) == 1
+        assert segments[0].pairs == program.pairs
+
+    def test_placed_segment_execution_matches_run_bit_identically(self, rng):
+        graph = self._chain(rng)
+        solver = Solver(ArraySpec(W))
+        program = GraphCompiler(solver).compile(graph)
+        segments = program.segments(
+            lambda key: 0 if key[0] == "matmul" else 1
+        )
+        n = len(program.stages)
+        solutions = [None] * n
+        outputs = [None] * n
+        latencies = [0.0] * n
+        for segment in segments:  # segment order == run()'s level order
+            segment.execute(outputs, solutions, latencies)
+        placements = [0] * n
+        for segment in segments:
+            shard = 0 if segment.plan_keys()[0][0] == "matmul" else 1
+            for index in segment.stage_indices:
+                placements[index] = shard
+        result = program.assemble(
+            solutions,
+            outputs,
+            latencies,
+            total_seconds=0.0,
+            compile_plan_builds=0,
+            placements=tuple(placements),
+        )
+        reference = GraphCompiler(Solver(ArraySpec(W))).run(graph)
+        for ours, theirs in zip(result.solutions, reference.solutions):
+            assert np.array_equal(ours.values, theirs.values)
+        assert result.placements == (0, 1)
+        assert result.modeled_pipeline_steps() <= (
+            result.modeled_sequential_steps()
+        )
+
+    def test_describe_reports_level_partition_and_placement(self, rng):
+        program = GraphCompiler(Solver(ArraySpec(W))).compile(
+            self._chain(rng)
+        )
+        text = program.describe()
+        assert "levels:" in text
+        assert "0: product | 1: projected" in text
+        result = program.run()
+        described = result.describe()
+        assert "levels:" in described
+        assert "@shard" not in described  # plain run: nothing was placed
+        placed = program.assemble(
+            list(result.solutions),
+            [solution.values for solution in result.solutions],
+            list(result.stage_seconds),
+            total_seconds=result.total_seconds,
+            compile_plan_builds=0,
+            placements=(1, 0),
+        )
+        placed_text = placed.describe()
+        assert "@shard 1" in placed_text and "@shard 0" in placed_text
+        assert "placement: shards [0, 1]" in placed_text
 
 
 # --------------------------------------------------------------------------- #

@@ -49,7 +49,9 @@ def _pair(w: int, backend: str):
 
 def _values_equal(lhs, rhs) -> bool:
     if isinstance(lhs, tuple):
-        return all(np.array_equal(l, r) for l, r in zip(lhs, rhs))
+        return all(
+            np.array_equal(left, right) for left, right in zip(lhs, rhs)
+        )
     return np.array_equal(lhs, rhs)
 
 

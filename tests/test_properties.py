@@ -14,7 +14,6 @@ construction relies on:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.analytic import matvec_steps

@@ -6,17 +6,42 @@ calls, re-submitted same-shaped graphs run shard-local with **zero** plan
 builds after warmup, graph requests carry per-graph telemetry (stage
 counts, fused stages, stage latencies) into the fleet snapshot, and a
 failing graph resolves only its own future.
+
+The cross-shard pipelined path adds its own criteria: a two-branch
+diamond with pinned branch placement executes bit-identically to
+single-shard :meth:`PipelineProgram.run` while its modeled array-step
+makespan shows ≥1.5x level parallelism, and graph jobs under
+backpressure (deadlines, ``shed_oldest``, ``reject``) fail whole —
+no orphaned segments, no leaked handoff slots.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.api import ArraySpec, Solver
-from repro.errors import GraphCycleError, ShapeError
-from repro.graph import Graph, MatMul, MatVec, Ref, Refine
+from repro.api import ArraySpec, ExecutionOptions, Solver
+from repro.errors import (
+    DeadlineExceededError,
+    GraphCycleError,
+    ServiceOverloadedError,
+    ShapeError,
+)
+from repro.graph import (
+    Graph,
+    GraphCompiler,
+    Jacobi,
+    MatMul,
+    MatVec,
+    ProgramSegment,
+    Ref,
+    Refine,
+)
 from repro.instrumentation import counters
+from repro.iterative import ConvergenceCriteria
+from repro.nn import Bias, Relu
 from repro.service import SolverService
 
 W = 4
@@ -217,3 +242,224 @@ class TestServiceGraphs:
         assert stats.failed == 0
         assert stats.graphs == 15  # 6 clients x 5 rounds, half graphs
         assert stats.completed == 30
+
+
+N_DIAMOND = 32
+
+
+def _diamond(rng):
+    """Two balanced branches: relu source feeding a matvec and a
+    one-sweep jacobi (517 modeled array steps each at n=32, w=4), joined
+    by an elementwise add.  With the branches placed on distinct shards
+    the modeled pipelined makespan halves the sequential one."""
+    a = rng.normal(size=(N_DIAMOND, N_DIAMOND))
+    m = _spd(rng, N_DIAMOND)
+    x = rng.normal(size=N_DIAMOND)
+    src = Relu(x, name="src")
+    left = MatVec(a, src, name="left")
+    right = Jacobi(
+        m,
+        src,
+        criteria=ConvergenceCriteria(atol=1e-30, max_iter=1),
+        name="right",
+    )
+    return Graph(Bias(left, right, name="join"))
+
+
+def _pin_branches(service, graph) -> None:
+    """Place the diamond's branches on shards 0 and 1 explicitly (their
+    natural hash placement may collide on one shard)."""
+    keys = graph.plan_keys(W, ExecutionOptions())
+    service.placement.assign(keys[graph.names.index("left")], 0)
+    service.placement.assign(keys[graph.names.index("right")], 1)
+
+
+def _lanes_drained(service, timeout: float = 2.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(
+            worker.queue.handoff_depth == 0 for worker in service.shards
+        ):
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestPipelinedGraphExecution:
+    def test_diamond_pipelines_across_shards_bit_identically(self, rng):
+        graph = _diamond(rng)
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            _pin_branches(service, graph)
+            result = service.solve_graph(graph)
+            assert _lanes_drained(service)
+            stats = service.stats()
+        reference = GraphCompiler(Solver(ArraySpec(W))).run(graph)
+        for ours, theirs in zip(result.solutions, reference.solutions):
+            assert np.array_equal(ours.values, theirs.values)
+        # The branches really ran on distinct shards...
+        assert set(result.placements) == {0, 1}
+        # ...and level parallelism shows in the modeled array makespan.
+        speedup = result.modeled_sequential_steps() / (
+            result.modeled_pipeline_steps()
+        )
+        assert speedup >= 1.5
+        # 4 segments: src | left, right | join; every level past the
+        # first entered its shard through the handoff lane.
+        assert stats.segments == 4
+        assert stats.handoffs == 3
+        assert stats.handoffs_rejected == 0
+        assert stats.graphs == 1 and stats.completed == 1
+        described = result.describe()
+        assert "@shard 0" in described and "@shard 1" in described
+        assert "placement: shards" in described
+        assert "segments:" in stats.describe()
+
+    def test_warm_pipelined_resubmission_keeps_zero_builds(self, rng):
+        graph = _diamond(rng)
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            _pin_branches(service, graph)
+            cold = service.solve_graph(graph)
+            assert not cold.warm
+            before = counters.snapshot()
+            warm_runs = [service.solve_graph(graph) for _ in range(3)]
+            delta = counters.delta(before)
+            stats = service.stats()
+        assert delta.plan_builds == 0
+        for warm in warm_runs:
+            assert warm.warm
+            assert warm.compile_plan_builds == 0 and warm.plan_builds == 0
+            assert warm.placements == cold.placements
+            assert np.array_equal(
+                warm.output("join"), cold.output("join")
+            )
+        assert stats.graphs == 4
+        assert stats.segments == 16
+
+    def test_pipeline_false_forces_the_classic_home_shard_path(self, rng):
+        graph = _diamond(rng)
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            _pin_branches(service, graph)
+            pipelined = service.solve_graph(graph)
+            classic = service.submit_graph(graph, pipeline=False).result()
+            stats = service.stats()
+        assert pipelined.placements != ()
+        assert classic.placements == ()
+        assert np.array_equal(
+            classic.output("join"), pipelined.output("join")
+        )
+        # Only the pipelined submission produced segments/handoffs.
+        assert stats.segments == 4
+        assert stats.graphs == 2
+
+
+class TestGraphBackpressure:
+    @staticmethod
+    def _slow_level_zero(monkeypatch, seconds: float) -> None:
+        """Make every level-0 segment take ``seconds`` to execute."""
+        original = ProgramSegment.execute
+
+        def slow(self, outputs, solutions, latencies):
+            if self.level == 0:
+                time.sleep(seconds)
+            return original(self, outputs, solutions, latencies)
+
+        monkeypatch.setattr(ProgramSegment, "execute", slow)
+
+    @staticmethod
+    def _wait_admissions_empty(service, shard: int = 0) -> None:
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            if len(service.shards[shard].queue) == 0:
+                return
+            time.sleep(0.002)
+        raise AssertionError("worker never picked up the queued request")
+
+    @staticmethod
+    def _pin_everything(service, graph, shard: int = 0):
+        """Pin a graph's stage keys and its whole-job key to one shard."""
+        base = ExecutionOptions()
+        stage_keys = graph.plan_keys(W, base)
+        for key in stage_keys:
+            service.placement.assign(key, shard)
+        graph_key = ("__graph__", stage_keys, W, base)
+        service.placement.assign(graph_key, shard)
+
+    def test_deadline_mid_pipeline_fails_the_whole_request(
+        self, pipeline, rng, monkeypatch
+    ):
+        """A segment dequeued past its job's deadline fails the whole
+        graph: later levels become no-ops, nothing leaks, and the
+        expiry is accounted once."""
+        self._slow_level_zero(monkeypatch, 0.15)
+        graph, _operands = pipeline
+        a, x = rng.normal(size=(N, N)), rng.normal(size=N)
+        with SolverService(ArraySpec(W), n_shards=2) as service:
+            future = service.submit_graph(graph, timeout=0.05)
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=5.0)
+            assert _lanes_drained(service)
+            # The service stays healthy for subsequent work.
+            ok = service.solve("matvec", a, x)
+            stats = service.stats()
+        assert ok.kind == "matvec"
+        assert stats.expired == 1
+        assert stats.graphs == 0  # the expired graph never completed
+        assert stats.failed == 0  # expiry is not a failure
+
+    def test_shed_mid_pipeline_fails_cleanly_without_orphans(
+        self, pipeline, rng, monkeypatch
+    ):
+        """``shed_oldest`` evicting a queued *segment* fails its whole
+        pipelined job; siblings never dispatch, the victim's future
+        reports the shed, and the surviving job completes."""
+        self._slow_level_zero(monkeypatch, 0.35)
+        graph, (a, _b, z, _matrix) = pipeline
+        with SolverService(
+            ArraySpec(W),
+            n_shards=2,
+            queue_depth=1,
+            backpressure="shed_oldest",
+            max_batch_size=1,
+        ) as service:
+            self._pin_everything(service, graph)
+            service.placement.assign(service.plan_key("matvec", a, z), 0)
+            first = service.submit_graph(graph)
+            self._wait_admissions_empty(service)  # shard 0 is executing it
+            second = service.submit_graph(graph)  # fills the depth-1 queue
+            probe = service.submit("matvec", a, z)  # evicts second's level 0
+            with pytest.raises(ServiceOverloadedError, match="shed"):
+                second.result(timeout=5.0)
+            survivor = first.result(timeout=5.0)
+            assert probe.result(timeout=5.0).kind == "matvec"
+            assert _lanes_drained(service)
+            stats = service.stats()
+        assert survivor.output("refined") is not None
+        assert stats.shed == 1
+        assert stats.graphs == 1  # only the survivor completed
+
+    def test_reject_policy_refuses_pipelined_admission_at_submit(
+        self, pipeline, monkeypatch
+    ):
+        """Under ``reject`` a full admission queue refuses a new
+        pipelined graph synchronously at ``submit_graph``; already
+        admitted jobs are untouched."""
+        self._slow_level_zero(monkeypatch, 0.35)
+        graph, _operands = pipeline
+        with SolverService(
+            ArraySpec(W),
+            n_shards=2,
+            queue_depth=1,
+            backpressure="reject",
+            max_batch_size=1,
+        ) as service:
+            self._pin_everything(service, graph)
+            first = service.submit_graph(graph)
+            self._wait_admissions_empty(service)
+            second = service.submit_graph(graph)
+            with pytest.raises(ServiceOverloadedError):
+                service.submit_graph(graph)
+            assert first.result(timeout=5.0).output("refined") is not None
+            assert second.result(timeout=5.0).output("refined") is not None
+            stats = service.stats()
+        assert stats.rejected >= 1
+        assert stats.graphs == 2  # the admitted jobs both completed
