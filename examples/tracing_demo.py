@@ -1,0 +1,119 @@
+"""Tracing demo: a traced mixed load, exported as Chrome trace JSON.
+
+Construct ``SolverService`` with an enabled :class:`repro.obs.Tracer`
+and every request produces one span tree: the root covers submit →
+resolution, children mark admission wait, queue wait, batch assembly,
+plan lookup (hit/miss), execution — and, for a pipelined graph, the
+per-shard segment executions joined by handoff-lane transits with flow
+arrows between the shard tracks.
+
+This script serves a mixed load from client threads — plain matvec /
+matmul requests plus a two-branch diamond graph whose branches are
+pinned to distinct shards — then:
+
+* prints the plain-text span tree of the last diamond request,
+* prints the fleet stats (now with p99 latency columns),
+* writes every trace to ``trace.json`` — load it at
+  https://ui.perfetto.dev or ``chrome://tracing`` to see one track per
+  shard worker and the handoff arrows crossing them.
+
+Run with:  PYTHONPATH=src python examples/tracing_demo.py
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro import ArraySpec, SolverService
+from repro.api import ExecutionOptions
+from repro.graph import Graph, Jacobi, MatVec
+from repro.iterative import ConvergenceCriteria
+from repro.nn import Bias, Relu
+from repro.obs import Tracer
+
+W = 4
+N = 32
+N_CLIENTS = 4
+ROUNDS = 5
+
+
+def diamond(rng) -> Graph:
+    """Relu source feeding two balanced branches joined by an add."""
+    a = rng.normal(size=(N, N))
+    spread = rng.normal(size=(N, N))
+    m = (spread + spread.T) / 2.0
+    m += (np.abs(m).sum(axis=1).max() + 1.0) * np.eye(N)
+    x = rng.normal(size=N)
+    src = Relu(x, name="src")
+    left = MatVec(a, src, name="left")
+    right = Jacobi(
+        m,
+        src,
+        criteria=ConvergenceCriteria(atol=1e-30, max_iter=1),
+        name="right",
+    )
+    return Graph(Bias(left, right, name="join"))
+
+
+def main() -> None:
+    rng = np.random.default_rng(1986)
+    graph = diamond(rng)
+    a, x = rng.normal(size=(16, 16)), rng.normal(size=16)
+    b, c = rng.normal(size=(9, 9)), rng.normal(size=(9, 9))
+
+    tracer = Tracer()
+    with SolverService(ArraySpec(W), n_shards=2, tracer=tracer) as service:
+        # Pin the diamond's branches to distinct shards so every request
+        # pipelines across both tracks (their hash placement may collide).
+        keys = graph.plan_keys(W, ExecutionOptions())
+        service.placement.assign(keys[graph.names.index("left")], 0)
+        service.placement.assign(keys[graph.names.index("right")], 1)
+
+        def client() -> None:
+            for _ in range(ROUNDS):
+                service.solve("matvec", a, x)
+                service.solve_graph(graph)
+                service.solve("matmul", b, c)
+
+        threads = [
+            threading.Thread(target=client) for _ in range(N_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = service.stats()
+
+    print("=" * 72)
+    print("span tree of the last pipelined diamond request")
+    print("=" * 72)
+    graph_traces = [
+        span.trace_id
+        for span in tracer.spans()
+        if span.parent_id is None and span.name == "request graph"
+    ]
+    print(tracer.describe_trace(graph_traces[-1]))
+
+    print()
+    print("=" * 72)
+    print("fleet stats")
+    print("=" * 72)
+    print(stats.describe())
+
+    tracer.write_chrome_trace("trace.json")
+    requests = N_CLIENTS * ROUNDS * 3
+    print()
+    print(
+        f"wrote trace.json: {len(tracer.spans())} spans across "
+        f"{len(tracer.trace_ids())} traces ({requests} requests; "
+        f"open spans: {tracer.open_spans}) — load it in Perfetto or "
+        f"chrome://tracing"
+    )
+    if tracer.open_spans:
+        raise SystemExit("orphaned open spans — tracing bug")
+
+
+if __name__ == "__main__":
+    main()

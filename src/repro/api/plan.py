@@ -111,12 +111,26 @@ class ExecutionPlan:
     def key(self) -> PlanKey:
         return make_plan_key(self._kind, self._shapes, self._spec.w, self._options)
 
+    def _span(self, name: str):
+        """An ambient child span for one plan execution (or the no-op).
+
+        Costs one thread-local read when nothing is tracing — the same
+        guarded path the rest of the backend uses.
+        """
+        from ..obs.tracing import NULL_SPAN, active_span
+
+        parent = active_span()
+        if parent is None:
+            return NULL_SPAN
+        return parent.child(name, category="plan", kind=self._kind)
+
     def execute(self, *operands, **kwargs):
         """Stream one operand set through the plan; returns a Solution."""
         from ..instrumentation import counters
 
-        counters.plan_executions += 1
-        return self._handler.execute(self, *operands, **kwargs)
+        counters.bump("plan_executions")
+        with self._span("plan.execute"):
+            return self._handler.execute(self, *operands, **kwargs)
 
     def execute_problem(self, problem):
         """Stream one *typed* problem through the plan; returns a Solution.
@@ -127,8 +141,9 @@ class ExecutionPlan:
         """
         from ..instrumentation import counters
 
-        counters.plan_executions += 1
-        return self._handler.execute_problem(self, problem)
+        counters.bump("plan_executions")
+        with self._span("plan.execute"):
+            return self._handler.execute_problem(self, problem)
 
     def execute_pair(self, first: Tuple, second: Tuple):
         """Run two independent same-plan problems on one shared array run.
@@ -141,8 +156,9 @@ class ExecutionPlan:
         """
         from ..instrumentation import counters
 
-        counters.plan_executions += 2
-        legacy_a, legacy_b = self._executor.execute_pair(first, second)
+        counters.bump("plan_executions", 2)
+        with self._span("plan.execute_pair"):
+            legacy_a, legacy_b = self._executor.execute_pair(first, second)
         solutions = []
         for legacy in (legacy_a, legacy_b):
             solution = self._handler.wrap(self, legacy)

@@ -33,6 +33,7 @@ from typing import List, Mapping, Optional, Sequence, Tuple, Type
 
 from ..graph.problems import Problem, problem_types
 from ..instrumentation import counters
+from ..obs.tracing import NULL_SPAN, active_span
 from .config import ArraySpec, ExecutionOptions
 from .plan import ExecutionPlan, CacheStats, PlanCache, PlanKey, make_plan_key
 from .registry import get_handler, registered_kinds
@@ -322,19 +323,36 @@ class Solver:
     def _plan_for(self, handler, shapes, opts) -> Tuple[ExecutionPlan, bool]:
         key = make_plan_key(handler.kind, shapes, self._spec.w, opts)
         plan = self._cache.get(key)
+        # Ambient tracing: when some caller (a traced service worker)
+        # activated a span, plan lookups report under it — cache hits as
+        # zero-cost markers, misses as spans covering the cold build.
+        parent = active_span()
         if plan is not None:
+            if parent is not None:
+                parent.child(
+                    "plan_lookup", category="plan",
+                    kind=handler.kind, cache="hit",
+                ).finish()
             return plan, True
-        counters.plan_builds += 1
-        executor = handler.build(self._spec, opts, shapes)
-        plan = ExecutionPlan(
-            kind=handler.kind,
-            shapes=shapes,
-            spec=self._spec,
-            options=opts,
-            executor=executor,
-            handler=handler,
+        counters.bump("plan_builds")
+        span = (
+            NULL_SPAN if parent is None
+            else parent.child(
+                "plan_lookup", category="plan",
+                kind=handler.kind, cache="miss",
+            )
         )
-        self._cache.put(key, plan)
+        with span:
+            executor = handler.build(self._spec, opts, shapes)
+            plan = ExecutionPlan(
+                kind=handler.kind,
+                shapes=shapes,
+                spec=self._spec,
+                options=opts,
+                executor=executor,
+                handler=handler,
+            )
+            self._cache.put(key, plan)
         return plan, False
 
     @staticmethod

@@ -79,7 +79,7 @@ class DBTByRowsTransform:
     """
 
     def __init__(self, matrix: np.ndarray, w: int):
-        counters.transform_constructions += 1
+        counters.bump("transform_constructions")
         self._w = validate_array_size(w)
         matrix = as_matrix(matrix, "matrix")
         self._original_shape = matrix.shape

@@ -70,7 +70,7 @@ class MatMulOperands:
     """Builds ``A~`` and ``B~`` for one ``C = A * B + E`` problem."""
 
     def __init__(self, a: np.ndarray, b: np.ndarray, w: int):
-        counters.transform_constructions += 1
+        counters.bump("transform_constructions")
         self._w = validate_array_size(w)
         a = as_matrix(a, "A")
         b = as_matrix(b, "B")

@@ -678,7 +678,7 @@ class CachedMatVec:
         plan = self._plans.get(key)
         if plan is None:
             self._misses += 1
-            counters.plan_builds += 1
+            counters.bump("plan_builds")
             if self._overlapped:
                 plan = OverlappedMatVecPlan(
                     key[0], key[1], self._w,
@@ -749,7 +749,7 @@ class CachedMatMul:
         plan = self._plans.get(key)
         if plan is None:
             self._misses += 1
-            counters.plan_builds += 1
+            counters.bump("plan_builds")
             plan = MatMulPlan(
                 key[0], key[1], key[2], self._w,
                 verify_structure=self._verify_structure,

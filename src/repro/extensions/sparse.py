@@ -81,7 +81,7 @@ class BlockSparseDBTTransform:
     """DBT-by-rows restricted to the nonzero blocks of the operand."""
 
     def __init__(self, matrix: np.ndarray, w: int, tolerance: float = 0.0):
-        counters.transform_constructions += 1
+        counters.bump("transform_constructions")
         self._w = validate_array_size(w)
         if tolerance < 0.0:
             raise TransformError(f"tolerance must be >= 0, got {tolerance}")

@@ -92,7 +92,7 @@ class GraphCompiler:
     def compile(self, graph: "Graph | Problem") -> PipelineProgram:
         """Lower a graph (or a single problem) to a pipeline program."""
         graph = as_graph(graph)
-        counters.graph_compiles += 1
+        counters.bump("graph_compiles")
         rewrites = 0
         if self._fuse:
             graph, rewrites = _fuse_matmul_chains(graph)

@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 from ..api.plan import ExecutionPlan
 from ..api.solution import Solution
 from ..instrumentation import counters
+from ..obs.tracing import NULL_SPAN, Tracer, active_span
 
 __all__ = [
     "Binding",
@@ -131,6 +132,9 @@ class ProgramSegment:
             partner[first] = second
             partner[second] = first
         stage_by_index = {stage.index: stage for stage in self.stages}
+        # One thread-local read; when nothing is tracing every stage
+        # below uses the shared no-op span.
+        parent = active_span()
 
         def finish(index: int, solution: Solution, elapsed: float) -> None:
             solutions[index] = solution
@@ -151,11 +155,24 @@ class ProgramSegment:
                     binding.resolve(outputs)
                     for binding in partner_stage.operands
                 )
-                first, second = stage.plan.execute_pair(
-                    _matvec_triple(operands), _matvec_triple(partner_operands)
+                span = (
+                    NULL_SPAN
+                    if parent is None
+                    else parent.child(
+                        f"stage {stage.name}+{partner_stage.name}",
+                        category="stage",
+                        kind=stage.kind,
+                        level=stage.level,
+                        paired=True,
+                    )
                 )
+                with span:
+                    first, second = stage.plan.execute_pair(
+                        _matvec_triple(operands),
+                        _matvec_triple(partner_operands),
+                    )
                 elapsed = time.perf_counter() - start
-                counters.fused_matvec_pairs += 1
+                counters.bump("fused_matvec_pairs")
                 # The shared run's wall time is attributed to both stages.
                 finish(stage.index, first, elapsed)
                 finish(partner_index, second, elapsed)
@@ -164,7 +181,18 @@ class ProgramSegment:
                 key: binding.resolve(outputs)
                 for key, binding in stage.kwargs.items()
             }
-            solution = stage.plan.execute(*operands, **kwargs)
+            span = (
+                NULL_SPAN
+                if parent is None
+                else parent.child(
+                    f"stage {stage.name}",
+                    category="stage",
+                    kind=stage.kind,
+                    level=stage.level,
+                )
+            )
+            with span:
+                solution = stage.plan.execute(*operands, **kwargs)
             finish(stage.index, solution, time.perf_counter() - start)
 
 
@@ -323,7 +351,7 @@ class PipelineProgram:
         self._ran = True
         return charged
 
-    def run(self) -> "PipelineResult":
+    def run(self, tracer: Optional[Tracer] = None) -> "PipelineResult":
         """Execute every stage in dependency order; returns the result.
 
         Walks the level-aligned segments in order — stage outputs feed
@@ -331,9 +359,23 @@ class PipelineProgram:
         together through the plan's overlapped contraflow path (values
         identical to sequential execution); everything else streams
         through its plan one stage at a time.
+
+        Pass an enabled :class:`~repro.obs.tracing.Tracer` to profile
+        the run: a ``pipeline.run`` root span opens with per-stage
+        children (and, under them, the plan-level ``plan.execute`` /
+        ``plan_lookup`` spans), making warm-up plan builds and cold
+        inner-engine compiles visible.  Served executions instead nest
+        under the request trace the service attached.
         """
-        counters.graph_runs += 1
+        counters.bump("graph_runs")
         charged_compile_builds = self.consume_compile_charge()
+        root = NULL_SPAN
+        if tracer is not None and tracer.enabled:
+            root = tracer.start_trace(
+                "pipeline.run",
+                stages=len(self._stages),
+                levels=self.n_levels,
+            )
         total_start = time.perf_counter()
         n = len(self._stages)
         solutions: List[Optional[Solution]] = [None] * n
@@ -344,8 +386,9 @@ class PipelineProgram:
         # graph's topological order, but they always sit on a strictly
         # lower level, so walking level segments makes every pair fire
         # with both members' inputs resolved.
-        for segment in self.segments():
-            segment.execute(outputs, solutions, latencies)
+        with root:
+            for segment in self.segments():
+                segment.execute(outputs, solutions, latencies)
         return self.assemble(
             solutions,
             outputs,

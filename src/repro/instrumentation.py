@@ -8,24 +8,35 @@ so the transform constructors report to the counters below and tests (and
 the plan-cache benchmark) assert that the counter does not move across a
 warm solve.
 
-The counters are deliberately plain integers on a module-level object:
-they cost one attribute increment per construction, need no locking for
-the CPython use here, and can be snapshotted/diffed from anywhere without
-importing the api layer.
-
-Thread-safety boundary: ``transform_constructions`` / ``plan_builds`` /
-``plan_executions`` are bumped inline on the solve path without a lock,
-so they are exact only for single-threaded callers (every test that
-asserts on them); under the multithreaded :mod:`repro.service` shard pool
-they are best-effort.  The ``service_*`` counters, by contrast, are
-serialized on a shared lock by the service telemetry and stay exact.
+The counters remain plain integers on a module-level object — snapshot
+and diff from anywhere without importing the api layer — but every bump
+now goes through :meth:`Counters.bump`, which serializes on the shared
+:data:`registry` lock and mirrors each field into a typed
+:class:`~repro.obs.metrics.Counter` instrument.  That closes the old
+thread-safety caveat: ``plan_builds`` / ``plan_executions`` used to be
+lock-free ``+=`` on the solve path and therefore only best-effort under
+the multithreaded :mod:`repro.service` shard pool; they are now exact
+everywhere, and the same numbers are visible through
+``registry.snapshot()`` alongside the service metrics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-__all__ = ["CacheStats", "Counters", "counters", "transform_constructions"]
+from .obs.metrics import MetricsRegistry
+
+__all__ = [
+    "CacheStats",
+    "Counters",
+    "counters",
+    "registry",
+    "transform_constructions",
+]
+
+#: Process-wide metrics registry; :data:`counters` mirrors into it, and
+#: standalone services fall back to it when not given their own.
+registry = MetricsRegistry()
 
 
 @dataclass
@@ -74,20 +85,17 @@ class Counters:
     :class:`~repro.core.dbt_transposed.DBTTransposedByRowsTransform`,
     :class:`~repro.core.operands.MatMulOperands` and
     :class:`~repro.extensions.sparse.BlockSparseDBTTransform`.
-    ``plan_builds`` / ``plan_executions`` are bumped by the api layer
-    (lock-free: exact for single-threaded callers, best-effort under the
-    multithreaded service shard pool).  ``service_requests`` /
-    ``service_batches`` are bumped by the :mod:`repro.service` layer,
-    serialized on one shared lock across all shards, so they stay exact
-    even though the service is multithreaded.  ``iterative_sweeps`` counts
-    the sweeps executed by the :mod:`repro.iterative` solvers (lock-free,
-    same caveat as ``plan_builds``).  ``graph_compiles`` /
-    ``graph_runs`` / ``fused_matvec_pairs`` are bumped by the
+    ``plan_builds`` / ``plan_executions`` are bumped by the api layer,
+    ``service_requests`` / ``service_batches`` by the :mod:`repro.service`
+    layer, ``iterative_sweeps`` by the :mod:`repro.iterative` solvers, and
+    ``graph_compiles`` / ``graph_runs`` / ``fused_matvec_pairs`` by the
     :mod:`repro.graph` pipeline layer: one per
     :meth:`~repro.graph.compiler.GraphCompiler.compile`, one per
     :meth:`~repro.graph.program.PipelineProgram.run`, and one per pair of
     independent same-plan matvec stages executed through the array's
-    overlapped contraflow path.
+    overlapped contraflow path.  All bumps go through :meth:`bump` and
+    serialize on the shared :data:`registry` lock, so every field is
+    exact even under the multithreaded service shard pool.
     """
 
     transform_constructions: int = 0
@@ -100,9 +108,24 @@ class Counters:
     graph_runs: int = 0
     fused_matvec_pairs: int = 0
 
+    def bump(self, name: str, n: int = 1) -> None:
+        """Increment field ``name`` by ``n``, exactly, from any thread.
+
+        The increment and its mirror into the :data:`registry` counter
+        instrument happen under one lock hold, so the dataclass view and
+        the registry view never disagree.
+        """
+        with registry.lock:
+            setattr(self, name, getattr(self, name) + n)
+            if self is counters:
+                registry.counter("repro." + name).inc(n)
+
     def snapshot(self) -> "Counters":
         """An independent copy for before/after diffing."""
-        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
+        with registry.lock:
+            return Counters(
+                **{f.name: getattr(self, f.name) for f in fields(self)}
+            )
 
     def delta(self, earlier: "Counters") -> "Counters":
         """Counter increments since ``earlier`` (a prior :meth:`snapshot`)."""

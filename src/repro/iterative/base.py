@@ -144,7 +144,7 @@ class PlanCachedIterativeSolver:
         for iteration in range(1, criteria.max_iter + 1):
             iterations = iteration
             residual = float(sweep(iteration))
-            counters.iterative_sweeps += 1
+            counters.bump("iterative_sweeps")
             if iteration == 1:
                 builds_after_first = self._engine_misses()
             history.append(residual)

@@ -1,0 +1,208 @@
+"""Trace exporters: Chrome trace-event JSON and plain-text trees.
+
+:func:`chrome_trace` renders finished spans in the Chrome trace-event
+format (the catapult JSON that Perfetto — https://ui.perfetto.dev — and
+``chrome://tracing`` load directly).  The mapping:
+
+* every span becomes one complete ``"X"`` event, placed on a *thread*
+  per span track — the client track first, then one track per shard
+  worker — under a single process;
+* track naming is emitted as ``"M"`` (metadata) events, so the viewer
+  shows ``client`` / ``shard 0`` / ``shard 1`` lanes instead of bare
+  thread ids;
+* every handoff-lane transit becomes a flow: an ``"s"`` (flow start)
+  event anchored at the end of the producing span and an ``"f"`` (flow
+  finish, ``bp: "e"``) event anchored at the start of the consuming
+  span, drawn by the viewer as an arrow between the two shard tracks.
+
+Timestamps are microseconds relative to the tracer's epoch, as the
+format requires.
+
+:func:`describe_trace` renders the same spans as an indented text tree —
+one line per span with duration, status and annotations — for terminals
+and test assertions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["chrome_trace", "describe_trace", "write_chrome_trace"]
+
+#: The single process id all tracks live under.
+_PID = 1
+
+
+def _track_order(spans: Sequence[Any]) -> Dict[str, int]:
+    """Assign tids: ``client`` first, remaining tracks sorted by name."""
+    tracks = {span.track for span in spans}
+    ordered: List[str] = []
+    if "client" in tracks:
+        ordered.append("client")
+        tracks.discard("client")
+    ordered.extend(sorted(tracks))
+    return {track: tid for tid, track in enumerate(ordered)}
+
+
+def _micros(instant: float, epoch: float) -> float:
+    return (instant - epoch) * 1e6
+
+
+def chrome_trace(spans: Sequence[Any], epoch: float = 0.0) -> Dict[str, Any]:
+    """Finished spans as a Chrome trace-event JSON object."""
+    tids = _track_order(spans)
+    events: List[Dict[str, Any]] = []
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            }
+        )
+    events.append(
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro.service"},
+        }
+    )
+    for span in spans:
+        if span.end is None:
+            continue  # open spans have no duration to draw
+        tid = tids[span.track]
+        args: Dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "status": span.status,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.error is not None:
+            args["error"] = span.error
+        for key, value in span.args.items():
+            args[key] = value if isinstance(value, (int, float, bool)) else str(value)
+        start_us = _micros(span.start, epoch)
+        end_us = _micros(span.end, epoch)
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category or "span",
+                "ts": start_us,
+                "dur": max(0.0, end_us - start_us),
+                "args": args,
+            }
+        )
+        # Flow arrows: the producer anchors an "s" at its end, the
+        # consumer an "f" (binding point "e" = enclosing slice begin)
+        # at its start; matching ids make the viewer connect them.
+        for flow_id in span.flows_out:
+            events.append(
+                {
+                    "ph": "s",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": "handoff",
+                    "cat": "handoff",
+                    "id": flow_id,
+                    "ts": end_us,
+                }
+            )
+        for flow_id in span.flows_in:
+            events.append(
+                {
+                    "ph": "f",
+                    "bp": "e",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": "handoff",
+                    "cat": "handoff",
+                    "id": flow_id,
+                    "ts": start_us,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Any, spans: Sequence[Any], epoch: float = 0.0
+) -> None:
+    """Serialize :func:`chrome_trace` as JSON to ``path``."""
+    payload = chrome_trace(spans, epoch=epoch)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _describe_span(
+    span: Any,
+    children: Dict[Optional[int], List[Any]],
+    depth: int,
+    lines: List[str],
+) -> None:
+    note = "" if span.status == "ok" else f" [{span.status}]"
+    if span.error is not None:
+        note += f" {span.error}"
+    extras = " ".join(
+        f"{key}={value}" for key, value in sorted(span.args.items())
+    )
+    if extras:
+        extras = "  {" + extras + "}"
+    lines.append(
+        f"{'  ' * depth}{span.name} ({span.track}) "
+        f"{_format_duration(span.duration)}{note}{extras}"
+    )
+    for child in children.get(span.span_id, ()):
+        _describe_span(child, children, depth + 1, lines)
+
+
+def describe_trace(
+    spans: Iterable[Any], trace_id: Optional[int] = None
+) -> str:
+    """Indented text rendering of one trace (or all, separated by blanks)."""
+    selected: List[Any] = [
+        span
+        for span in spans
+        if trace_id is None or span.trace_id == trace_id
+    ]
+    selected.sort(key=lambda span: (span.trace_id, span.start, span.span_id))
+    children: Dict[Optional[int], List[Any]] = {}
+    span_ids = {span.span_id for span in selected}
+    roots: List[Any] = []
+    for span in selected:
+        if span.parent_id is None or span.parent_id not in span_ids:
+            roots.append(span)
+        else:
+            children.setdefault(span.parent_id, []).append(span)
+    lines: List[str] = []
+    last_trace: Optional[Tuple[int, ...]] = None
+    for root in roots:
+        if last_trace is not None and root.trace_id != last_trace:
+            lines.append("")
+        last_trace = root.trace_id
+        _describe_span(root, children, 0, lines)
+    return "\n".join(lines)

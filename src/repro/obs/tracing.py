@@ -1,0 +1,421 @@
+"""Request-scoped tracing: span trees with a guarded no-op fast path.
+
+A :class:`Tracer` produces one *span tree* per traced request or graph
+job: the root span covers submit → resolution, and children mark where
+the request spent its time — admission wait, queue wait, batch assembly,
+plan lookup (hit/miss), execution, handoff-lane transit, per-shard
+segment execution.  Spans carry a *track* (the visual lane they render
+on: ``"client"``, ``"shard 0"``, ...) and may be linked by *flow ids*,
+which the Chrome exporter turns into arrows between tracks — one arrow
+per cross-shard handoff.
+
+Tracing is **disabled by default** and the disabled path is deliberately
+near-free: a disabled tracer's :meth:`Tracer.start_span` returns the
+shared :data:`NULL_SPAN` singleton after a single attribute test, every
+``NULL_SPAN`` method is a no-op, and the ambient-span hook the hot
+layers use (:func:`active_span`) is one thread-local read returning
+``None``.  Layers below the service (the solver's plan lookup, plan
+execution, pipeline stage loops) never hold a tracer; they consult
+:func:`active_span` and create child spans only when some caller
+activated a real span — so a process that never traces pays one branch
+per call site.
+
+Span lifecycle is latch-like: :meth:`Span.finish` is idempotent and
+thread-safe (a span may be started on the submitting thread and finished
+by a shard worker), and the tracer counts open spans so tests can assert
+that no code path — including shed/expired/errored requests — leaks an
+unfinished span.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import export as _export
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "active_span",
+]
+
+_ACTIVE = threading.local()
+
+
+def active_span() -> Optional["Span"]:
+    """The span the current thread activated, or ``None``.
+
+    The ambient hook for layers that should not know about tracers:
+    ``Solver`` wraps plan lookups and ``ProgramSegment`` wraps stage
+    execution in children of whatever span is active.  Costs one
+    thread-local read when nothing is active.
+    """
+    return getattr(_ACTIVE, "span", None)
+
+
+class Span:
+    """One timed operation in a trace tree.
+
+    Entering a span as a context manager *activates* it on the current
+    thread (so :func:`active_span` children nest under it) and finishes
+    it on exit — with ``status="error"`` if the block raised.  Spans
+    finished explicitly (roots closed by whichever thread resolves the
+    request) use :meth:`finish`, which is idempotent.
+    """
+
+    __slots__ = (
+        "tracer",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "track",
+        "start",
+        "end",
+        "status",
+        "error",
+        "args",
+        "flows_in",
+        "flows_out",
+        "_prev_active",
+    )
+
+    #: Real spans record; the :data:`NULL_SPAN` singleton reports False.
+    recording = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        track: str,
+        category: str,
+        start: float,
+    ):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.track = track
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "open"
+        self.error: Optional[str] = None
+        self.args: Dict[str, Any] = {}
+        self.flows_in: Tuple[int, ...] = ()
+        self.flows_out: Tuple[int, ...] = ()
+        self._prev_active: Optional[Span] = None
+
+    # -- annotations ------------------------------------------------------------
+    def annotate(self, **args: Any) -> "Span":
+        """Attach key/value context (kind, shard, cache hit/miss, ...)."""
+        self.args.update(args)
+        return self
+
+    def flow_in(self, flow_id: int) -> "Span":
+        """Mark this span as the *target* of flow ``flow_id`` (arrow head)."""
+        self.flows_in += (int(flow_id),)
+        return self
+
+    def flow_out(self, flow_id: int) -> "Span":
+        """Mark this span as the *source* of flow ``flow_id`` (arrow tail)."""
+        self.flows_out += (int(flow_id),)
+        return self
+
+    # -- children ---------------------------------------------------------------
+    def child(
+        self,
+        name: str,
+        track: Optional[str] = None,
+        category: str = "",
+        start: Optional[float] = None,
+        **args: Any,
+    ) -> "Span":
+        """Start a child span (same trace, same track unless overridden)."""
+        return self.tracer.start_span(
+            name,
+            parent=self,
+            track=track if track is not None else self.track,
+            category=category,
+            start=start,
+            **args,
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def finish(
+        self,
+        status: str = "ok",
+        error: Optional[BaseException] = None,
+        end: Optional[float] = None,
+    ) -> None:
+        """Close the span (idempotent; safe from any thread)."""
+        self.tracer._finish(self, status, error, end)
+
+    def __enter__(self) -> "Span":
+        self._prev_active = getattr(_ACTIVE, "span", None)
+        _ACTIVE.span = self
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        _ACTIVE.span = self._prev_active
+        self._prev_active = None
+        if exc_type is not None:
+            self.finish(status="error", error=exc_value)
+        else:
+            self.finish()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, "
+            f"track={self.track!r}, status={self.status!r})"
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    recording = False
+    trace_id = None
+    span_id = None
+    parent_id = None
+    name = ""
+    track = ""
+    category = ""
+    start = 0.0
+    end = 0.0
+    status = "ok"
+    error = None
+    args: Dict[str, Any] = {}
+    flows_in: Tuple[int, ...] = ()
+    flows_out: Tuple[int, ...] = ()
+    finished = True
+    duration = 0.0
+
+    def annotate(self, **args: Any) -> "_NullSpan":
+        return self
+
+    def flow_in(self, flow_id: int) -> "_NullSpan":
+        return self
+
+    def flow_out(self, flow_id: int) -> "_NullSpan":
+        return self
+
+    def child(self, name: str, **kwargs: Any) -> "_NullSpan":
+        return self
+
+    def finish(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NULL_SPAN"
+
+
+#: The span every disabled code path shares; all methods are no-ops.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces, collects and exports spans for one process.
+
+    ``enabled=False`` (what :data:`NULL_TRACER` is) turns every
+    ``start_*`` call into a single-branch return of :data:`NULL_SPAN` —
+    the guarded no-op path the serving benchmarks run under.  Enabled
+    tracers are lock-cheap: span-id allocation and finish-time collection
+    take one short lock; annotation and flow marking are lock-free on the
+    owning thread.
+
+    ``max_spans`` bounds memory: past it, finished spans are counted in
+    :attr:`dropped` instead of retained (open-span accounting stays
+    exact either way).
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 200_000):
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._open = 0
+        self._next_id = 1
+        self._next_flow = 1
+        self._dropped = 0
+        self._max_spans = int(max_spans)
+        self.epoch = time.perf_counter()
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def open_spans(self) -> int:
+        """Started-but-unfinished spans — must be 0 for a drained service."""
+        with self._lock:
+            return self._open
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def now(self) -> float:
+        """The tracer's clock (``time.perf_counter``)."""
+        return time.perf_counter()
+
+    def spans(self, trace_id: Optional[int] = None) -> Tuple[Span, ...]:
+        """Finished spans, optionally restricted to one trace."""
+        with self._lock:
+            collected = tuple(self._spans)
+        if trace_id is None:
+            return collected
+        return tuple(span for span in collected if span.trace_id == trace_id)
+
+    def trace_ids(self) -> Tuple[int, ...]:
+        """Distinct trace ids among the finished spans, in first-seen order."""
+        seen: Dict[int, None] = {}
+        for span in self.spans():
+            seen.setdefault(span.trace_id, None)
+        return tuple(seen)
+
+    # -- producing spans --------------------------------------------------------
+    def start_trace(
+        self, name: str, track: str = "client", **args: Any
+    ) -> Span:
+        """Open the root span of a new trace (no parent, fresh trace id)."""
+        if not self._enabled:
+            return NULL_SPAN  # type: ignore[return-value]
+        return self._start(name, None, None, track, "request", None, args)
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        track: str = "",
+        category: str = "",
+        start: Optional[float] = None,
+        **args: Any,
+    ) -> Span:
+        """Open a span (under ``parent`` when given).
+
+        ``start`` backdates the span — how retroactive spans like "queue
+        wait" are recorded once both endpoints are known, which is also
+        what keeps failure paths leak-free: a span that might never be
+        closed is simply never opened.
+        """
+        if not self._enabled:
+            return NULL_SPAN  # type: ignore[return-value]
+        if parent is not None and not parent.recording:
+            parent = None
+        trace_id = parent.trace_id if parent is not None else None
+        parent_id = parent.span_id if parent is not None else None
+        return self._start(
+            name, trace_id, parent_id, track, category, start, args
+        )
+
+    def new_flow(self) -> int:
+        """A fresh flow id linking a producer span to a consumer span."""
+        with self._lock:
+            flow = self._next_flow
+            self._next_flow += 1
+            return flow
+
+    def _start(
+        self,
+        name: str,
+        trace_id: Optional[int],
+        parent_id: Optional[int],
+        track: str,
+        category: str,
+        start: Optional[float],
+        args: Dict[str, Any],
+    ) -> Span:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            self._open += 1
+        span = Span(
+            tracer=self,
+            trace_id=trace_id if trace_id is not None else span_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            track=track,
+            category=category,
+            start=start if start is not None else time.perf_counter(),
+        )
+        if args:
+            span.args.update(args)
+        return span
+
+    def _finish(
+        self,
+        span: Span,
+        status: str,
+        error: Optional[BaseException],
+        end: Optional[float],
+    ) -> None:
+        with self._lock:
+            if span.end is not None:
+                return  # idempotent: first finish wins
+            span.end = end if end is not None else time.perf_counter()
+            span.status = status
+            if error is not None:
+                span.error = f"{type(error).__name__}: {error}"
+            self._open -= 1
+            if len(self._spans) < self._max_spans:
+                self._spans.append(span)
+            else:
+                self._dropped += 1
+
+    # -- export -----------------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The finished spans as a Chrome trace-event JSON object.
+
+        Load the written file in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``: one track per shard worker plus the client
+        track, flow arrows across handoff lanes.
+        """
+        return _export.chrome_trace(self.spans(), epoch=self.epoch)
+
+    def write_chrome_trace(self, path: "str | Any") -> None:
+        """Write :meth:`chrome_trace` as JSON to ``path``."""
+        _export.write_chrome_trace(path, self.spans(), epoch=self.epoch)
+
+    def describe_trace(self, trace_id: Optional[int] = None) -> str:
+        """Plain-text flamegraph-style rendering of one (or every) trace."""
+        return _export.describe_trace(self.spans(), trace_id=trace_id)
+
+    def clear(self) -> None:
+        """Drop collected spans (open-span accounting is preserved)."""
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+
+#: The process-wide disabled tracer: the default everywhere.
+NULL_TRACER = Tracer(enabled=False)

@@ -29,8 +29,18 @@ Pieces, front to back:
   :class:`~repro.api.solver.Solver` per shard; a plan compiles once per
   service and stays hot on its home shard.
 * :class:`~repro.service.telemetry.ServiceStats` — per-kind counts, queue
-  depths, the batch-size histogram, p50/p95 latency, and plan-cache hit
-  rates aggregated across shards.
+  depths, the batch-size histogram, p50/p95/p99 latency, and plan-cache
+  hit rates aggregated across shards, all backed by the typed
+  :class:`~repro.obs.metrics.MetricsRegistry` the service owns.
+
+The layer is observable end to end: construct the service with an
+enabled :class:`~repro.obs.tracing.Tracer` and every request (and every
+pipelined graph job) produces one span tree — admission wait, queue
+wait, batch assembly, plan lookup, execute, handoff-lane transits, and
+per-shard segment executions — exportable as Chrome trace-event JSON
+(:func:`repro.obs.chrome_trace`) with one track per shard worker and
+flow arrows across the handoff lanes.  Tracing is off by default and
+the disabled path costs one thread-local read per hook.
 
 Multi-iteration requests (the :mod:`repro.iterative` kinds — jacobi,
 sor, cg, refine, power) flow through the same pipeline: a whole k-sweep
@@ -65,7 +75,7 @@ from .backpressure import BACKPRESSURE_POLICIES, BoundedRequestQueue
 from .batcher import AdmissionBatcher
 from .pipeline import PipelinedGraphJob, SegmentTask
 from .placement import PlacementSnapshot, PlacementTable, stable_placement_hash
-from .request import GraphJob, SolveRequest
+from .request import GraphJob, RequestTrace, SolveRequest
 from .service import SolverService
 from .telemetry import ServiceStats, ShardStats, ShardTelemetry
 from .workers import ShardWorker
@@ -78,6 +88,7 @@ __all__ = [
     "PipelinedGraphJob",
     "PlacementSnapshot",
     "PlacementTable",
+    "RequestTrace",
     "SegmentTask",
     "ServiceStats",
     "ShardStats",

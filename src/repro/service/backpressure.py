@@ -208,7 +208,10 @@ class BoundedRequestQueue:
             else:
                 request = self._items.popleft()
             self._cond.notify_all()
-            return request
+        # Tracer-clock stamp for queue-wait spans; one clock read per
+        # dequeue, cheap enough to do unconditionally.
+        request.dequeued_at = time.perf_counter()
+        return request
 
     def drain(self, limit: Optional[int] = None) -> List[SolveRequest]:
         """Dequeue up to ``limit`` immediately-available requests (no wait).
@@ -226,7 +229,10 @@ class BoundedRequestQueue:
                     drained.append(self._items.popleft())
             if drained:
                 self._cond.notify_all()
-            return drained
+        now = time.perf_counter()
+        for request in drained:
+            request.dequeued_at = now
+        return drained
 
     # -- lifecycle ---------------------------------------------------------------
     def close(self) -> None:

@@ -38,7 +38,7 @@ from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 from ..api.config import ExecutionOptions
 from ..api.solution import Solution
 from ..graph.program import PipelineProgram, PipelineResult, ProgramSegment
-from .request import SolveRequest
+from .request import RequestTrace, SolveRequest
 from .telemetry import ShardTelemetry
 
 __all__ = ["PipelinedGraphJob", "SegmentTask"]
@@ -59,6 +59,14 @@ class SegmentTask:
     shard: int
     segment: ProgramSegment
     request: SolveRequest = field(init=False)
+    #: Trace plumbing, written by the dispatching thread before the task
+    #: enters its shard queue / handoff lane: the flow id linking the
+    #: producing segment's span to this one's, the shard that produced
+    #: the inputs, and the tracer-clock dispatch instant (so the consumer
+    #: can backdate a ``handoff_transit`` span).
+    flow_id: Optional[int] = None
+    from_shard: Optional[int] = None
+    dispatched_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.request = SolveRequest(
@@ -95,6 +103,7 @@ class PipelinedGraphJob:
         dispatch: Callable[["SegmentTask"], None],
         options: Optional[ExecutionOptions] = None,
         deadline: Optional[float] = None,
+        trace: Optional[RequestTrace] = None,
     ):
         if len(segments) != len(shards):
             raise ValueError(
@@ -107,6 +116,8 @@ class PipelinedGraphJob:
         self.home_shard = home_shard
         self.home_telemetry = home_telemetry
         self.dispatch = dispatch
+        #: Trace context of the whole job; segment spans hang off its root.
+        self.trace = trace
         self.future: "Future[PipelineResult]" = Future()
         self.enqueued_at = time.monotonic()
         # The compile charge is consumed here — at admission — so the
@@ -183,6 +194,8 @@ class PipelinedGraphJob:
                 self._clock_start = time.perf_counter()
             else:
                 self._failed = True
+                if self.trace is not None:
+                    self.trace.root.finish(status="cancelled")
             return self._start_ok
 
     def fail(self, exc: BaseException) -> bool:
@@ -195,11 +208,26 @@ class PipelinedGraphJob:
         """
         with self._lock:
             self._failed = True
+        if self.trace is not None:
+            # Idempotent: whichever of several concurrently-failing
+            # shards gets here first closes the root; no path leaves it
+            # open.
+            self.trace.root.finish(status="error", error=exc)
         try:
             self.future.set_exception(exc)
             return True
         except Exception:
             return False  # already resolved or cancelled
+
+    def resolve(self, result: PipelineResult) -> bool:
+        """Resolve the caller's future and close the trace root as ok."""
+        if self.trace is not None:
+            self.trace.root.finish()
+        try:
+            self.future.set_result(result)
+            return True
+        except Exception:
+            return False
 
     def complete_segment(self) -> Tuple[Tuple[SegmentTask, ...], bool]:
         """Account one finished segment; returns (next wave, finished).

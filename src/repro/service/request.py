@@ -30,11 +30,30 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional, Tuple, TYPE_CHECKING
 
 from ..api.config import ExecutionOptions
+from ..obs.tracing import Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .pipeline import SegmentTask
 
-__all__ = ["GraphJob", "SolveRequest"]
+__all__ = ["GraphJob", "RequestTrace", "SolveRequest"]
+
+
+@dataclass
+class RequestTrace:
+    """Trace context riding one request through the service.
+
+    ``root`` is the request's root span (opened by ``submit`` on the
+    client track); it is closed exactly once — by :meth:`SolveRequest.resolve`
+    on success, by :meth:`SolveRequest.fail` on any failure path — so a
+    shed/expired/errored request can never leave it open.  ``admitted_at``
+    is the tracer-clock instant the request entered its shard queue,
+    recorded so the worker can backdate a ``queue_wait`` span once the
+    request is dequeued (spans with unknowable ends are never opened).
+    """
+
+    tracer: Tracer
+    root: Span
+    admitted_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -82,6 +101,12 @@ class SolveRequest:
     deadline: Optional[float] = None
     future: "Future[Any]" = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+    #: Trace context (``None`` when the owning service is not tracing).
+    trace: Optional[RequestTrace] = None
+    #: Tracer-clock instant the queue handed this request to a worker;
+    #: stamped unconditionally by the queue (one clock read) so traced
+    #: requests can reconstruct their queue wait.
+    dequeued_at: Optional[float] = None
 
     @property
     def batchable(self) -> bool:
@@ -98,12 +123,30 @@ class SolveRequest:
         """Seconds since the request entered the service."""
         return (time.monotonic() if now is None else now) - self.enqueued_at
 
+    def resolve(self, value: Any) -> bool:
+        """Resolve the future and close the trace root as successful.
+
+        The span close is unconditional (and idempotent), so the trace
+        ends coherently even if the caller cancelled the future first.
+        """
+        if self.trace is not None:
+            self.trace.root.finish()
+        try:
+            self.future.set_result(value)
+            return True
+        except Exception:
+            return False
+
     def fail(self, exc: BaseException) -> bool:
         """Fail the future; False when it was already resolved/cancelled.
 
         Callers gate their failure telemetry on the return value so a
-        caller-cancelled future is never double-counted.
+        caller-cancelled future is never double-counted.  The trace root
+        is closed as failed regardless — no failure path may leave an
+        open span.
         """
+        if self.trace is not None:
+            self.trace.root.finish(status="error", error=exc)
         try:
             self.future.set_exception(exc)
             return True

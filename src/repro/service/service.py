@@ -50,10 +50,12 @@ from ..graph.compiler import GraphCompiler
 from ..graph.graph import Graph, as_graph
 from ..graph.problems import Problem
 from ..graph.program import PipelineProgram, PipelineResult, ProgramSegment
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_SPAN, NULL_TRACER, Tracer
 from .backpressure import BACKPRESSURE_POLICIES, BoundedRequestQueue
 from .pipeline import PipelinedGraphJob, SegmentTask
 from .placement import PlacementTable
-from .request import GraphJob, SolveRequest
+from .request import GraphJob, RequestTrace, SolveRequest
 from .telemetry import ServiceStats, ShardTelemetry
 from .workers import ShardWorker
 
@@ -105,6 +107,7 @@ class SolverService:
         plan_cache_size: int = 128,
         submit_timeout: Optional[float] = None,
         idle_poll: float = 0.05,
+        tracer: Optional[Tracer] = None,
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -118,6 +121,12 @@ class SolverService:
         self._policy = backpressure
         self._submit_timeout = submit_timeout
         self._closed = False
+        # Request-scoped tracing; NULL_TRACER (the default) makes every
+        # span call a guarded no-op on the serving path.
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        # One registry for the whole fleet: every shard's telemetry
+        # instruments live here, labelled by shard.
+        self._metrics = MetricsRegistry()
         self._placement = PlacementTable(int(n_shards))
         # Pipelined graphs compile here — one shared, lock-guarded plan
         # cache — so a re-submitted graph splits into segments carrying
@@ -137,7 +146,7 @@ class SolverService:
                     self._spec, self._options, plan_cache_size=plan_cache_size
                 ),
                 queue=queue,
-                telemetry=ShardTelemetry(shard_id),
+                telemetry=ShardTelemetry(shard_id, registry=self._metrics),
                 max_batch_size=max_batch_size,
                 max_batch_delay=max_batch_delay,
                 idle_poll=idle_poll,
@@ -171,6 +180,16 @@ class SolverService:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def tracer(self) -> Tracer:
+        """The service's tracer (the shared no-op tracer unless one was given)."""
+        return self._tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The fleet-wide metrics registry backing every shard's telemetry."""
+        return self._metrics
 
     def plan_key(
         self,
@@ -250,6 +269,11 @@ class SolverService:
             kwargs=dict(kwargs),
             deadline=None if timeout is None else time.monotonic() + timeout,
         )
+        if self._tracer.enabled:
+            request.trace = RequestTrace(
+                tracer=self._tracer,
+                root=self._tracer.start_trace(f"request {kind}", kind=kind),
+            )
         return self._admit(request)
 
     def submit_graph(
@@ -291,14 +315,34 @@ class SolverService:
         stage_keys = graph.plan_keys(self._spec.w, base)
         key = ("__graph__", stage_keys, self._spec.w, base)
         deadline = None if timeout is None else time.monotonic() + timeout
+        trace: Optional[RequestTrace] = None
+        if self._tracer.enabled:
+            trace = RequestTrace(
+                tracer=self._tracer,
+                root=self._tracer.start_trace(
+                    "request graph", kind="graph", stages=len(stage_keys)
+                ),
+            )
         if pipeline is not False and len(self._shards) > 1:
-            program = GraphCompiler(
-                self._compile_solver, fuse=fuse, options=options
-            ).compile(graph)
-            segments = program.segments(self._placement.shard_of)
+            # The compile span is *activated* so the shared solver's
+            # plan-lookup children (hit/miss, cold builds) nest under it.
+            span = (
+                trace.root.child("graph_compile", category="compile")
+                if trace is not None else NULL_SPAN
+            )
+            try:
+                with span:
+                    program = GraphCompiler(
+                        self._compile_solver, fuse=fuse, options=options
+                    ).compile(graph)
+                    segments = program.segments(self._placement.shard_of)
+            except Exception as exc:
+                if trace is not None:
+                    trace.root.finish(status="error", error=exc)
+                raise
             if len(segments) > 1:
                 return self._admit_pipelined(
-                    program, key, segments, options, deadline
+                    program, key, segments, options, deadline, trace
                 )
         request = SolveRequest(
             kind="graph",
@@ -307,17 +351,34 @@ class SolverService:
             options=options,
             graph=GraphJob(graph=graph, fuse=fuse),
             deadline=deadline,
+            trace=trace,
         )
         return self._admit(request)
 
     def _admit(self, request: SolveRequest) -> "Future[Any]":
         """Route one request to its home shard and enqueue it."""
         worker = self._shards[self.shard_index(request.plan_key)]
+        trace = request.trace
+        wait = None
+        if trace is not None:
+            trace.root.annotate(shard=worker.shard_id)
+            wait = trace.root.child("admission_wait", category="queue")
         try:
             shed = worker.queue.put(request, timeout=self._submit_timeout)
-        except ServiceOverloadedError:
+        except ServiceOverloadedError as exc:
             worker.telemetry.record_rejected()
+            if wait is not None:
+                wait.finish(status="error", error=exc)
+            request.fail(exc)  # closes the trace root; future is unused
             raise
+        except ServiceClosedError as exc:
+            if wait is not None:
+                wait.finish(status="error", error=exc)
+            request.fail(exc)
+            raise
+        if trace is not None and wait is not None:
+            wait.finish()
+            trace.admitted_at = wait.end
         worker.telemetry.record_submitted(request.kind, len(worker.queue))
         if shed is not None:
             self._fail_shed(worker, shed)
@@ -330,6 +391,7 @@ class SolverService:
         segments: Tuple[ProgramSegment, ...],
         options: Optional[ExecutionOptions],
         deadline: Optional[float],
+        trace: Optional[RequestTrace] = None,
     ) -> "Future[PipelineResult]":
         """Admit one cross-shard pipelined graph job.
 
@@ -355,22 +417,40 @@ class SolverService:
             dispatch=self._dispatch_segment,
             options=options,
             deadline=deadline,
+            trace=trace,
         )
+        wait = None
+        if trace is not None:
+            trace.root.annotate(
+                home_shard=home, segments=job.n_segments, pipelined=True
+            )
+            wait = trace.root.child("admission_wait", category="queue")
         for task in job.first_tasks():
             worker = self._shards[task.shard]
+            if trace is not None:
+                # Level-0 queue-wait spans start at admission time; the
+                # consuming worker backdates them from this stamp.
+                task.dispatched_at = trace.tracer.now()
             try:
                 shed = worker.queue.put(task.request, timeout=self._submit_timeout)
             except ServiceOverloadedError as exc:
                 worker.telemetry.record_rejected()
+                if wait is not None:
+                    wait.finish(status="error", error=exc)
                 # Level-0 siblings already queued on other shards become
                 # no-ops: the job is latched failed before they execute.
                 job.fail(exc)
                 raise
             except ServiceClosedError as exc:
+                if wait is not None:
+                    wait.finish(status="error", error=exc)
                 job.fail(exc)
                 raise
             if shed is not None:
                 self._fail_shed(worker, shed)
+        if trace is not None and wait is not None:
+            wait.finish()
+            trace.admitted_at = wait.end
         home_worker = self._shards[home]
         home_worker.telemetry.record_submitted("graph", len(home_worker.queue))
         return job.future

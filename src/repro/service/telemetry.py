@@ -1,28 +1,35 @@
 """Service observability: per-shard accounting and fleet-wide snapshots.
 
-Each shard worker owns a :class:`ShardTelemetry` — a lock-guarded bundle
-of counters (per-kind request counts, per-kind iterative sweep totals,
-completions, failures, rejections, deadline expiries), a batch-size
-histogram, a high-water queue depth, and a bounded reservoir of recent
-request latencies.  ``SolverService.stats()``
-snapshots every shard and folds them into one :class:`ServiceStats`:
-aggregate counts, the merged batch histogram, p50/p95 latency over the
-pooled reservoirs, and plan-cache hit rates summed across shards (via
-``CacheStats.__add__``).
+Each shard worker owns a :class:`ShardTelemetry`, which since PR 8 is a
+*view factory* over a :class:`~repro.obs.metrics.MetricsRegistry` rather
+than a private bundle of ad-hoc counters: every admission/execution
+event lands in a typed, locked instrument (``service.*`` counters,
+queue/lane-depth gauges with high-water marks, latency histograms with
+bounded reservoirs), all labelled by shard so one registry carries the
+whole fleet.  ``SolverService.stats()`` snapshots every shard and folds
+them into one :class:`ServiceStats`: aggregate counts, the merged batch
+histogram, p50/p95/p99 latency over the pooled reservoirs, and
+plan-cache hit rates summed across shards (via ``CacheStats.__add__``).
 
-Snapshots are immutable values; taking one never blocks the serving path
-beyond the per-shard counter locks.
+:class:`ShardStats` / :class:`ServiceStats` keep their dataclass shape —
+they are how tests, demos and the throughput benchmark read the service
+— but every number in them is now a registry read taken in one
+consistent cut (one lock hold across all of a shard's instruments, so a
+"completed" count and its latency reservoir can never tear).
+
+Percentiles sort the reservoir once per snapshot and take all ranks from
+that one ordering (:func:`repro.obs.metrics.percentiles`).
 """
 
 from __future__ import annotations
 
-import threading
-from collections import Counter, deque
+from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
-from typing import Deque, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..api.plan import CacheStats
 from ..instrumentation import counters as _instrumentation_counters
+from ..obs.metrics import Counter, MetricsRegistry, percentiles
 from .placement import PlacementSnapshot
 
 __all__ = ["ShardStats", "ShardTelemetry", "ServiceStats", "percentile"]
@@ -30,10 +37,8 @@ __all__ = ["ShardStats", "ShardTelemetry", "ServiceStats", "percentile"]
 #: How many recent per-request latencies each shard keeps for percentiles.
 LATENCY_RESERVOIR_SIZE = 4096
 
-# The process-wide instrumentation counters are plain integers; bumps from
-# different shards (each holding only its own telemetry lock) would race,
-# so all service-layer increments serialize on this one module lock.
-_INSTRUMENTATION_LOCK = threading.Lock()
+#: The percentile fractions every latency summary reports.
+_FRACTIONS = (0.50, 0.95, 0.99)
 
 
 def _ms(value: Optional[float]) -> str:
@@ -42,14 +47,13 @@ def _ms(value: Optional[float]) -> str:
 
 
 def percentile(sample: Sequence[float], fraction: float) -> Optional[float]:
-    """Nearest-rank percentile of ``sample`` (``None`` for an empty sample)."""
-    if not sample:
-        return None
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError(f"percentile fraction must be in [0, 1], got {fraction}")
-    ordered = sorted(sample)
-    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
-    return ordered[rank]
+    """Nearest-rank percentile of ``sample`` (``None`` for an empty sample).
+
+    Single-fraction convenience over
+    :func:`repro.obs.metrics.percentiles`; summaries that need several
+    ranks should call that directly so the reservoir is sorted once.
+    """
+    return percentiles(sample, (fraction,))[0]
 
 
 @dataclass(frozen=True)
@@ -72,6 +76,7 @@ class ShardStats:
     latency_p95: Optional[float]
     cache: CacheStats
     latency_sample: Tuple[float, ...] = field(repr=False, default=())
+    latency_p99: Optional[float] = None
     #: Total iterative sweeps executed per kind (jacobi/sor/cg/refine/
     #: power/gauss_seidel); empty for shards that served only direct kinds.
     iterations_by_kind: Mapping[str, int] = field(default_factory=dict)
@@ -85,6 +90,7 @@ class ShardStats:
     graph_fused: int = 0
     stage_latency_p50: Optional[float] = None
     stage_latency_p95: Optional[float] = None
+    stage_latency_p99: Optional[float] = None
     stage_latency_sample: Tuple[float, ...] = field(repr=False, default=())
     #: Summed pipeline depth (levels) across those jobs — ``graph_levels /
     #: graphs`` is the mean depth; an NN forward pass is as deep as it is
@@ -113,7 +119,8 @@ class ShardStats:
         line = (
             f"shard {self.shard_id}: {self.submitted} requests, "
             f"{self.batches} flushes, cache hit rate "
-            f"{hit_rate}, p95 {_ms(self.latency_p95)}"
+            f"{hit_rate}, p95 {_ms(self.latency_p95)}, "
+            f"p99 {_ms(self.latency_p99)}"
         )
         if self.graphs:
             line += (
@@ -134,71 +141,99 @@ class ShardStats:
 
 
 class ShardTelemetry:
-    """Thread-safe accounting for one shard worker.
+    """Thread-safe accounting for one shard worker, registry-backed.
 
     The submitting thread records admission events (submitted, rejected,
     shed) and the shard worker records execution events (batches,
-    completions, failures, expiries); one lock keeps both sides exact.
+    completions, failures, expiries); every event lands in a typed
+    instrument of ``registry``, so bumps are exact under the registry
+    lock and a snapshot is one consistent cut.  Pass the service-wide
+    registry so all shards share one; a standalone telemetry (unit
+    tests) creates a private registry.
     """
 
-    def __init__(self, shard_id: int):
+    def __init__(
+        self, shard_id: int, registry: Optional[MetricsRegistry] = None
+    ):
         self.shard_id = shard_id
-        self._lock = threading.Lock()
-        self._submitted = 0
-        self._completed = 0
-        self._failed = 0
-        self._rejected = 0
-        self._shed = 0
-        self._expired = 0
-        self._batches = 0
-        self._by_kind: "Counter[str]" = Counter()
-        self._batch_sizes: "Counter[int]" = Counter()
-        self._iterations_by_kind: "Counter[str]" = Counter()
-        self._max_queue_depth = 0
-        self._latencies: Deque[float] = deque(maxlen=LATENCY_RESERVOIR_SIZE)
-        self._graphs = 0
-        self._graph_stages = 0
-        self._graph_fused = 0
-        self._graph_levels = 0
-        self._graph_stages_by_kind: "Counter[str]" = Counter()
-        self._stage_latencies: Deque[float] = deque(
-            maxlen=LATENCY_RESERVOIR_SIZE
+        self.registry = registry if registry is not None else MetricsRegistry()
+        make = self.registry
+        shard = shard_id
+        self._submitted = make.counter("service.submitted", shard=shard)
+        self._completed = make.counter("service.completed", shard=shard)
+        self._failed = make.counter("service.failed", shard=shard)
+        self._rejected = make.counter("service.rejected", shard=shard)
+        self._shed = make.counter("service.shed", shard=shard)
+        self._expired = make.counter("service.expired", shard=shard)
+        self._batches = make.counter("service.batches", shard=shard)
+        self._graphs = make.counter("service.graphs", shard=shard)
+        self._graph_stages = make.counter("service.graph_stages", shard=shard)
+        self._graph_fused = make.counter("service.graph_fused", shard=shard)
+        self._graph_levels = make.counter("service.graph_levels", shard=shard)
+        self._segments = make.counter("service.segments", shard=shard)
+        self._handoffs = make.counter("service.handoffs", shard=shard)
+        self._handoffs_rejected = make.counter(
+            "service.handoffs_rejected", shard=shard
         )
-        self._segments = 0
-        self._handoffs = 0
-        self._handoffs_rejected = 0
-        self._max_handoff_depth = 0
+        self._queue_depth = make.gauge("service.queue_depth", shard=shard)
+        self._handoff_depth = make.gauge("service.handoff_depth", shard=shard)
+        self._latency = make.histogram(
+            "service.latency", reservoir=LATENCY_RESERVOIR_SIZE, shard=shard
+        )
+        self._stage_latency = make.histogram(
+            "service.stage_latency",
+            reservoir=LATENCY_RESERVOIR_SIZE,
+            shard=shard,
+        )
+        # Kind-labelled series are created on first sight of each kind;
+        # these local maps exist so snapshots can enumerate this shard's
+        # kinds without filtering the whole registry.
+        self._by_kind: Dict[str, Counter] = {}
+        self._iterations_by_kind: Dict[str, Counter] = {}
+        self._stages_by_kind: Dict[str, Counter] = {}
+        self._batch_sizes: Dict[int, Counter] = {}
+
+    def _labelled_counter(
+        self, cache: Dict, name: str, label: str, value: object
+    ) -> Counter:
+        with self.registry.lock:
+            instrument = cache.get(value)
+            if instrument is None:
+                instrument = self.registry.counter(
+                    name, shard=self.shard_id, **{label: value}
+                )
+                cache[value] = instrument
+            return instrument
 
     # -- admission events (submitting threads) -----------------------------------
     def record_submitted(self, kind: str, queue_depth: int) -> None:
-        with self._lock:
-            self._submitted += 1
-            self._by_kind[kind] += 1
-            if queue_depth > self._max_queue_depth:
-                self._max_queue_depth = queue_depth
-        with _INSTRUMENTATION_LOCK:
-            _instrumentation_counters.service_requests += 1
+        with self.registry.lock:
+            self._submitted.inc()
+            self._labelled_counter(
+                self._by_kind, "service.requests", "kind", kind
+            ).inc()
+            self._queue_depth.set(queue_depth)
+        _instrumentation_counters.bump("service_requests")
 
     def record_rejected(self) -> None:
-        with self._lock:
-            self._rejected += 1
+        self._rejected.inc()
 
     def record_shed(self) -> None:
-        with self._lock:
-            self._shed += 1
+        self._shed.inc()
 
     # -- execution events (the shard worker) -------------------------------------
     def record_batch(self, size: int) -> None:
-        with self._lock:
-            self._batches += 1
-            self._batch_sizes[size] += 1
-        with _INSTRUMENTATION_LOCK:
-            _instrumentation_counters.service_batches += 1
+        with self.registry.lock:
+            self._batches.inc()
+            self._labelled_counter(
+                self._batch_sizes, "service.batch_size", "size", size
+            ).inc()
+        _instrumentation_counters.bump("service_batches")
 
     def record_completed(self, latency: float) -> None:
-        with self._lock:
-            self._completed += 1
-            self._latencies.append(latency)
+        with self.registry.lock:
+            self._completed.inc()
+            self._latency.observe(latency)
 
     def record_iterations(self, kind: str, iterations: int) -> None:
         """Account the sweeps of one completed multi-iteration solve.
@@ -207,8 +242,9 @@ class ShardTelemetry:
         ``iterations`` stat, so the fleet snapshot can show how much
         iterative work each kind pushed through the warm plan caches.
         """
-        with self._lock:
-            self._iterations_by_kind[kind] += int(iterations)
+        self._labelled_counter(
+            self._iterations_by_kind, "service.iterations", "kind", kind
+        ).inc(int(iterations))
 
     def record_graph(
         self,
@@ -227,79 +263,97 @@ class ShardTelemetry:
         topological levels), and ``kinds`` the per-stage kind strings
         (an MLP job contributes its layer structure here).
         """
-        with self._lock:
-            self._graphs += 1
-            self._graph_stages += int(stages)
-            self._graph_fused += int(fused)
-            self._graph_levels += int(levels)
-            self._graph_stages_by_kind.update(kinds)
-            self._stage_latencies.extend(stage_latencies)
+        with self.registry.lock:
+            self._graphs.inc()
+            self._graph_stages.inc(int(stages))
+            self._graph_fused.inc(int(fused))
+            self._graph_levels.inc(int(levels))
+            for kind in kinds:
+                self._labelled_counter(
+                    self._stages_by_kind, "service.graph_stage_kinds",
+                    "kind", kind,
+                ).inc()
+            self._stage_latency.extend(stage_latencies)
 
     def record_segment(self) -> None:
         """Account one pipelined-graph segment executed on this shard."""
-        with self._lock:
-            self._segments += 1
+        self._segments.inc()
 
     def record_handoff(self, depth: int) -> None:
         """Account one segment parked in this shard's handoff lane.
 
-        ``depth`` is the lane depth right after the put; the high-water
-        mark is the leak detector — a drained service should always show
-        a zero *current* lane depth no matter how high the mark went.
+        ``depth`` is the lane depth right after the put; the gauge's
+        high-water mark is the leak detector — a drained service should
+        always show a zero *current* lane depth no matter how high the
+        mark went.
         """
-        with self._lock:
-            self._handoffs += 1
-            if depth > self._max_handoff_depth:
-                self._max_handoff_depth = depth
+        with self.registry.lock:
+            self._handoffs.inc()
+            self._handoff_depth.set(depth)
 
     def record_handoff_rejected(self) -> None:
-        with self._lock:
-            self._handoffs_rejected += 1
+        self._handoffs_rejected.inc()
 
     def record_failed(self, latency: float) -> None:
-        with self._lock:
-            self._failed += 1
-            self._latencies.append(latency)
+        with self.registry.lock:
+            self._failed.inc()
+            self._latency.observe(latency)
 
     def record_expired(self) -> None:
-        with self._lock:
-            self._expired += 1
+        self._expired.inc()
 
     # -- snapshot -----------------------------------------------------------------
     def snapshot(self, queue_depth: int, cache: CacheStats) -> ShardStats:
-        with self._lock:
-            sample = tuple(self._latencies)
-            stage_sample = tuple(self._stage_latencies)
+        with self.registry.lock:
+            # One lock hold across every instrument: a consistent cut.
+            sample = self._latency.snapshot().sample
+            stage_sample = self._stage_latency.snapshot().sample
+            p50, p95, p99 = percentiles(sample, _FRACTIONS)
+            sp50, sp95, sp99 = percentiles(stage_sample, _FRACTIONS)
             return ShardStats(
                 shard_id=self.shard_id,
-                submitted=self._submitted,
-                completed=self._completed,
-                failed=self._failed,
-                rejected=self._rejected,
-                shed=self._shed,
-                expired=self._expired,
-                batches=self._batches,
-                requests_by_kind=dict(self._by_kind),
-                batch_size_histogram=dict(self._batch_sizes),
+                submitted=self._submitted.value,
+                completed=self._completed.value,
+                failed=self._failed.value,
+                rejected=self._rejected.value,
+                shed=self._shed.value,
+                expired=self._expired.value,
+                batches=self._batches.value,
+                requests_by_kind={
+                    kind: instrument.value
+                    for kind, instrument in self._by_kind.items()
+                },
+                batch_size_histogram={
+                    size: instrument.value
+                    for size, instrument in self._batch_sizes.items()
+                },
                 queue_depth=queue_depth,
-                max_queue_depth=self._max_queue_depth,
-                latency_p50=percentile(sample, 0.50),
-                latency_p95=percentile(sample, 0.95),
+                max_queue_depth=int(self._queue_depth.highwater),
+                latency_p50=p50,
+                latency_p95=p95,
+                latency_p99=p99,
                 cache=cache,
                 latency_sample=sample,
-                iterations_by_kind=dict(self._iterations_by_kind),
-                graphs=self._graphs,
-                graph_stages=self._graph_stages,
-                graph_fused=self._graph_fused,
-                stage_latency_p50=percentile(stage_sample, 0.50),
-                stage_latency_p95=percentile(stage_sample, 0.95),
+                iterations_by_kind={
+                    kind: instrument.value
+                    for kind, instrument in self._iterations_by_kind.items()
+                },
+                graphs=self._graphs.value,
+                graph_stages=self._graph_stages.value,
+                graph_fused=self._graph_fused.value,
+                stage_latency_p50=sp50,
+                stage_latency_p95=sp95,
+                stage_latency_p99=sp99,
                 stage_latency_sample=stage_sample,
-                graph_levels=self._graph_levels,
-                graph_stages_by_kind=dict(self._graph_stages_by_kind),
-                segments=self._segments,
-                handoffs=self._handoffs,
-                handoffs_rejected=self._handoffs_rejected,
-                max_handoff_depth=self._max_handoff_depth,
+                graph_levels=self._graph_levels.value,
+                graph_stages_by_kind={
+                    kind: instrument.value
+                    for kind, instrument in self._stages_by_kind.items()
+                },
+                segments=self._segments.value,
+                handoffs=self._handoffs.value,
+                handoffs_rejected=self._handoffs_rejected.value,
+                max_handoff_depth=int(self._handoff_depth.highwater),
             )
 
     def describe(
@@ -333,12 +387,14 @@ class ServiceStats:
     latency_p95: Optional[float]
     cache: CacheStats
     shards: Tuple[ShardStats, ...]
+    latency_p99: Optional[float] = None
     iterations_by_kind: Mapping[str, int] = field(default_factory=dict)
     graphs: int = 0
     graph_stages: int = 0
     graph_fused: int = 0
     stage_latency_p50: Optional[float] = None
     stage_latency_p95: Optional[float] = None
+    stage_latency_p99: Optional[float] = None
     graph_levels: int = 0
     graph_stages_by_kind: Mapping[str, int] = field(default_factory=dict)
     #: Pipelined-graph segment executions summed across shards.
@@ -357,10 +413,10 @@ class ServiceStats:
         shards: Sequence[ShardStats],
         placement: Optional[PlacementSnapshot] = None,
     ) -> "ServiceStats":
-        by_kind: "Counter[str]" = Counter()
-        histogram: "Counter[int]" = Counter()
-        iterations: "Counter[str]" = Counter()
-        stages_by_kind: "Counter[str]" = Counter()
+        by_kind: "TallyCounter[str]" = TallyCounter()
+        histogram: "TallyCounter[int]" = TallyCounter()
+        iterations: "TallyCounter[str]" = TallyCounter()
+        stages_by_kind: "TallyCounter[str]" = TallyCounter()
         pooled: List[float] = []
         pooled_stages: List[float] = []
         cache = CacheStats()
@@ -372,6 +428,8 @@ class ServiceStats:
             pooled.extend(shard.latency_sample)
             pooled_stages.extend(shard.stage_latency_sample)
             cache = cache + shard.cache
+        p50, p95, p99 = percentiles(pooled, _FRACTIONS)
+        sp50, sp95, sp99 = percentiles(pooled_stages, _FRACTIONS)
         return cls(
             n_shards=len(shards),
             submitted=sum(s.submitted for s in shards),
@@ -385,16 +443,18 @@ class ServiceStats:
             batch_size_histogram=dict(histogram),
             queue_depth=sum(s.queue_depth for s in shards),
             max_queue_depth=max((s.max_queue_depth for s in shards), default=0),
-            latency_p50=percentile(pooled, 0.50),
-            latency_p95=percentile(pooled, 0.95),
+            latency_p50=p50,
+            latency_p95=p95,
+            latency_p99=p99,
             cache=cache,
             shards=tuple(shards),
             iterations_by_kind=dict(iterations),
             graphs=sum(s.graphs for s in shards),
             graph_stages=sum(s.graph_stages for s in shards),
             graph_fused=sum(s.graph_fused for s in shards),
-            stage_latency_p50=percentile(pooled_stages, 0.50),
-            stage_latency_p95=percentile(pooled_stages, 0.95),
+            stage_latency_p50=sp50,
+            stage_latency_p95=sp95,
+            stage_latency_p99=sp99,
             graph_levels=sum(s.graph_levels for s in shards),
             graph_stages_by_kind=dict(stages_by_kind),
             segments=sum(s.segments for s in shards),
@@ -430,7 +490,10 @@ class ServiceStats:
                 f"  batching:    {self.batches} flushes, "
                 f"mean batch size {self.mean_batch_size:.2f}"
             ),
-            f"  latency:     p50 {_ms(self.latency_p50)}, p95 {_ms(self.latency_p95)}",
+            (
+                f"  latency:     p50 {_ms(self.latency_p50)}, "
+                f"p95 {_ms(self.latency_p95)}, p99 {_ms(self.latency_p99)}"
+            ),
             (
                 f"  plan cache:  {self.cache.hits} hits / "
                 f"{self.cache.misses} misses "
@@ -457,7 +520,8 @@ class ServiceStats:
                 f"{self.graph_fused} fused, "
                 f"mean depth {self.graph_levels / self.graphs:.1f}, "
                 f"stage latency p50 {_ms(self.stage_latency_p50)} / "
-                f"p95 {_ms(self.stage_latency_p95)}"
+                f"p95 {_ms(self.stage_latency_p95)} / "
+                f"p99 {_ms(self.stage_latency_p99)}"
             )
         if self.graph_stages_by_kind:
             stage_kinds = ", ".join(

@@ -35,6 +35,7 @@ from typing import List, Optional
 from ..api.solver import Solver
 from ..errors import DeadlineExceededError, ServiceClosedError
 from ..graph.compiler import GraphCompiler
+from ..obs.tracing import NULL_SPAN
 from .backpressure import BoundedRequestQueue
 from .batcher import AdmissionBatcher
 from .request import SolveRequest
@@ -61,6 +62,8 @@ class ShardWorker:
         self.solver = solver
         self.queue = queue
         self.telemetry = telemetry
+        #: The trace track this worker's spans render on.
+        self.track = f"shard {shard_id}"
         self._batcher = AdmissionBatcher(
             queue,
             max_batch_size=max_batch_size,
@@ -148,22 +151,57 @@ class ShardWorker:
                     )
                 )
             elif not request.future.set_running_or_notify_cancel():
-                pass  # caller cancelled while queued; nothing to resolve
+                # Caller cancelled while queued; nothing to resolve, but
+                # the trace must still end coherently.
+                if request.trace is not None:
+                    request.trace.root.finish(status="cancelled")
             else:
                 live.append(request)
         if not live:
             return
         self.telemetry.record_batch(len(live))
+        traced = [request for request in live if request.trace is not None]
+        if traced:
+            # Retroactive spans from stamps both endpoints of which are
+            # now known: admission → dequeue is queue_wait, dequeue →
+            # here is batch_assembly.  Backdating means a request that
+            # never reached this point (shed, expired, closed) never
+            # opened these spans — nothing to leak.
+            assembled_at = traced[0].trace.tracer.now()
+            for request in traced:
+                trace = request.trace
+                if trace.admitted_at is None or request.dequeued_at is None:
+                    continue
+                trace.root.child(
+                    "queue_wait", track=self.track, category="queue",
+                    start=trace.admitted_at,
+                ).finish(end=request.dequeued_at)
+                trace.root.child(
+                    "batch_assembly", track=self.track, category="queue",
+                    start=request.dequeued_at, batch=len(live),
+                ).finish(end=assembled_at)
         # Every live member shares a plan key, hence identical resolved
         # options — the ExecutionOptions embedded in the key itself.
         options = live[0].plan_key[3]
         if len(live) > 1:
-            try:
-                solutions = self.solver.solve_batch(
-                    live[0].kind,
-                    [request.operands for request in live],
-                    options=options,
+            # One physical solve_batch serves the whole flush; the first
+            # traced member's execute span is activated (so plan-lookup /
+            # plan-execute children nest under it) and its siblings get
+            # identical retroactive spans — the shared interval is the
+            # truth of a batched execution.
+            lead = NULL_SPAN
+            if traced:
+                lead = traced[0].trace.root.child(
+                    "execute", track=self.track, category="execute",
+                    batch=len(live),
                 )
+            try:
+                with lead:
+                    solutions = self.solver.solve_batch(
+                        live[0].kind,
+                        [request.operands for request in live],
+                        options=options,
+                    )
             except Exception:
                 # A plan key only sees operands[0], so one member with
                 # e.g. a wrong-length vector can sink the whole flush.
@@ -172,13 +210,18 @@ class ShardWorker:
                 for request in live:
                     self._execute_one(request, options)
                 return
+            for request in traced[1:]:
+                request.trace.root.child(
+                    "execute", track=self.track, category="execute",
+                    start=lead.start, batch=len(live),
+                ).finish(end=lead.end)
             for request, solution in zip(live, solutions):
                 # Telemetry first: a RUNNING future cannot be cancelled,
                 # so set_result is infallible — and the caller it wakes
                 # may read stats() immediately.
                 self.telemetry.record_completed(request.latency())
                 self._record_iterations(request.kind, solution)
-                request.future.set_result(solution)
+                request.resolve(solution)
             return
         self._execute_one(live[0], options)
 
@@ -197,17 +240,27 @@ class ShardWorker:
         if request.graph is not None:
             self._execute_graph(request)
             return
-        try:
-            solution = self.solver.solve(
-                request.kind, *request.operands, options=options, **request.kwargs
+        span = NULL_SPAN
+        if request.trace is not None:
+            span = request.trace.root.child(
+                "execute", track=self.track, category="execute",
+                kind=request.kind,
             )
+        try:
+            # Activated: the solver's plan_lookup / plan.execute spans
+            # nest under this request's execute span.
+            with span:
+                solution = self.solver.solve(
+                    request.kind, *request.operands,
+                    options=options, **request.kwargs,
+                )
         except Exception as exc:
             self.telemetry.record_failed(request.latency())
             request.fail(exc)
             return
         self.telemetry.record_completed(request.latency())
         self._record_iterations(request.kind, solution)
-        request.future.set_result(solution)
+        request.resolve(solution)
 
     def _execute_graph(self, request: SolveRequest) -> None:
         """Compile and run one whole-pipeline job on this shard's solver.
@@ -219,15 +272,22 @@ class ShardWorker:
         """
         job = request.graph
         assert job is not None
+        span = NULL_SPAN
+        if request.trace is not None:
+            span = request.trace.root.child(
+                "execute", track=self.track, category="execute", kind="graph"
+            )
         try:
             # The request's options (when given) are the base the routing
             # keys were derived from; compiling under the same base keeps
             # the home-shard zero-recompile guarantee for graphs that
-            # carry per-request options.
-            compiler = GraphCompiler(
-                self.solver, fuse=job.fuse, options=request.options
-            )
-            result = compiler.run(job.graph)
+            # carry per-request options.  The activated span collects the
+            # compile's plan lookups and the program's stage spans.
+            with span:
+                compiler = GraphCompiler(
+                    self.solver, fuse=job.fuse, options=request.options
+                )
+                result = compiler.run(job.graph)
         except Exception as exc:
             self.telemetry.record_failed(request.latency())
             request.fail(exc)
@@ -242,7 +302,7 @@ class ShardWorker:
         )
         for kind, solution in zip(result.kinds, result.solutions):
             self._record_iterations(kind, solution)
-        request.future.set_result(result)
+        request.resolve(result)
 
     def _execute_segment(self, request: SolveRequest) -> None:
         """Run one placed segment of a cross-shard pipelined graph job.
@@ -272,14 +332,53 @@ class ShardWorker:
             return
         if not job.mark_running():
             return  # caller cancelled while the job was queued
+        trace = job.trace
+        seg_span = NULL_SPAN
+        if trace is not None:
+            # The lane transit (or admission-queue wait, for level 0) is
+            # reconstructed retroactively from the dispatch stamp — both
+            # endpoints known, nothing to leak.
+            if task.dispatched_at is not None and request.dequeued_at is not None:
+                transit_name = (
+                    "handoff_transit" if task.from_shard is not None
+                    else "queue_wait"
+                )
+                transit = trace.root.child(
+                    transit_name, track=self.track, category="queue",
+                    start=task.dispatched_at, level=task.level,
+                )
+                if task.from_shard is not None:
+                    transit.annotate(from_shard=task.from_shard)
+                transit.finish(end=request.dequeued_at)
+            seg_span = trace.root.child(
+                f"segment L{task.level}", track=self.track,
+                category="segment", shard=self.shard_id, level=task.level,
+            )
+            if task.flow_id is not None:
+                # Arrow head: the producing segment's flow lands here.
+                seg_span.flow_in(task.flow_id)
         try:
-            task.segment.execute(job.outputs, job.solutions, job.latencies)
+            # Activated: per-stage spans from ProgramSegment.execute nest
+            # under this shard's segment span; an exception closes it as
+            # failed before the job latch fires.
+            with seg_span:
+                task.segment.execute(job.outputs, job.solutions, job.latencies)
         except Exception as exc:
             if job.fail(exc):
                 job.home_telemetry.record_failed(job.latency())
             return
         self.telemetry.record_segment()
         next_wave, finished = job.complete_segment()
+        if trace is not None and next_wave:
+            # Each released segment gets a flow arrow from this span to
+            # its own; the dispatch stamp starts its transit span.
+            dispatched_at = trace.tracer.now()
+            for next_task in next_wave:
+                flow = trace.tracer.new_flow()
+                seg_span.flow_out(flow)
+                next_task.flow_id = flow
+                next_task.from_shard = self.shard_id
+                next_task.dispatched_at = dispatched_at
         for next_task in next_wave:
             try:
                 job.dispatch(next_task)
@@ -302,4 +401,4 @@ class ShardWorker:
             iterations = solution.stats.get("iterations")
             if isinstance(iterations, int) and iterations > 0:
                 job.home_telemetry.record_iterations(kind, iterations)
-        job.future.set_result(result)
+        job.resolve(result)
