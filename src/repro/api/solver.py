@@ -29,8 +29,11 @@ request carry the other.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence, Tuple, Type
+from typing import (
+    List, Mapping, Optional, Sequence, Tuple, Type, TYPE_CHECKING,
+)
 
+from ..errors import PlanStoreError
 from ..graph.problems import Problem, problem_types
 from ..instrumentation import counters
 from ..obs.tracing import NULL_SPAN, active_span
@@ -41,6 +44,9 @@ from .solution import Solution
 
 # Importing the handlers populates the registry.
 from . import problems as _problems  # noqa: F401
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import PlanStore
 
 __all__ = ["Solver"]
 
@@ -57,6 +63,12 @@ class Solver:
         ``options=`` arguments override them wholesale.
     plan_cache_size:
         Capacity of the LRU plan cache.
+    store:
+        Optional :class:`~repro.store.PlanStore`.  A plan-cache miss
+        then tries the store before compiling (a disk read instead of a
+        cold build — no ``plan_builds`` bump), and every fresh compile
+        writes through to the store best-effort (write failures are
+        counted, never raised on the solve path).
     """
 
     def __init__(
@@ -64,10 +76,12 @@ class Solver:
         spec: "ArraySpec | int",
         options: Optional[ExecutionOptions] = None,
         plan_cache_size: int = 128,
+        store: "Optional[PlanStore]" = None,
     ):
         self._spec = ArraySpec.of(spec)
         self._options = options if options is not None else ExecutionOptions()
         self._cache = PlanCache(plan_cache_size)
+        self._store = store
 
     # -- introspection ----------------------------------------------------------
     @property
@@ -86,6 +100,11 @@ class Solver:
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction accounting of the plan cache."""
         return self._cache.stats
+
+    @property
+    def store(self) -> "Optional[PlanStore]":
+        """The plan persistence store, when one was attached."""
+        return self._store
 
     @staticmethod
     def kinds() -> Tuple[str, ...]:
@@ -230,6 +249,8 @@ class Solver:
         plan, hit = self._plan_for(handler, shapes, opts)
         solution = plan.execute(*operands, **kwargs)
         solution.from_cache = hit
+        if not hit:
+            self._persist(plan)  # re-save with execution-warmed state
         return solution
 
     def solve_problem(
@@ -253,6 +274,8 @@ class Solver:
         plan, hit = self._plan_for(handler, shapes, opts)
         solution = plan.execute_problem(problem)
         solution.from_cache = hit
+        if not hit:
+            self._persist(plan)  # re-save with execution-warmed state
         return solution
 
     def solve_batch(
@@ -320,6 +343,22 @@ class Solver:
         base = options if options is not None else self._options
         return base.merged(**overrides) if overrides else base
 
+    def adopt_plan(self, plan: ExecutionPlan) -> None:
+        """Install an externally obtained plan into this solver's cache.
+
+        The warm-start entry point: a plan deserialized from a
+        :class:`~repro.store.PlanStore` (or handed over from another
+        solver) becomes a cache hit for its own key.  The plan must
+        match this solver's array spec — executors are compiled against
+        one geometry.
+        """
+        if plan.spec.w != self._spec.w:
+            raise ValueError(
+                f"cannot adopt a plan compiled for w={plan.spec.w} "
+                f"into a w={self._spec.w} solver"
+            )
+        self._cache.put(plan.key, plan)
+
     def _plan_for(self, handler, shapes, opts) -> Tuple[ExecutionPlan, bool]:
         key = make_plan_key(handler.kind, shapes, self._spec.w, opts)
         plan = self._cache.get(key)
@@ -334,6 +373,18 @@ class Solver:
                     kind=handler.kind, cache="hit",
                 ).finish()
             return plan, True
+        if self._store is not None:
+            stored = self._store.load(key)
+            if stored is not None:
+                # A disk read instead of a cold build: no plan_builds
+                # bump, and the caller sees it as a (store-tier) hit.
+                self._cache.put(key, stored)
+                if parent is not None:
+                    parent.child(
+                        "plan_lookup", category="plan",
+                        kind=handler.kind, cache="store",
+                    ).finish()
+                return stored, True
         counters.bump("plan_builds")
         span = (
             NULL_SPAN if parent is None
@@ -353,7 +404,26 @@ class Solver:
                 handler=handler,
             )
             self._cache.put(key, plan)
+        self._persist(plan)
         return plan, False
+
+    def _persist(self, plan: ExecutionPlan) -> None:
+        """Best-effort write-through to the plan store.
+
+        An unwritable store must never fail the solve that just compiled
+        a perfectly good plan, so write errors are counted, not raised.
+        Called once at build time, and again after a cold plan's first
+        execution (see :meth:`solve` / :meth:`solve_problem`): iterative
+        executors memoize inner per-shape plans lazily during execution,
+        and the re-save persists that warm state — a store-restored
+        jacobi plan then runs its first sweep with zero inner rebuilds.
+        """
+        if self._store is None:
+            return
+        try:
+            self._store.save(plan.key, plan)
+        except PlanStoreError:
+            counters.bump("plan_store_errors")
 
     @staticmethod
     def _matvec_triple(entry: Tuple) -> Tuple:

@@ -108,6 +108,18 @@ class GraphCycleError(GraphError):
     """
 
 
+class PlanStoreError(ReproError):
+    """A persisted plan artifact could not be written.
+
+    Raised only on the *write* side of :class:`repro.store.PlanStore`
+    (an unwritable directory, a full disk, an unpicklable executor).
+    The read side never raises: any unreadable, corrupt, truncated or
+    version-skewed artifact is reported as a miss-with-error so the
+    caller falls back to compiling — persistence can slow a cold start
+    but can never take a serving process down.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by the :mod:`repro.service` layer."""
 
@@ -126,3 +138,13 @@ class ServiceClosedError(ServiceError):
 
 class DeadlineExceededError(ServiceError):
     """A request's deadline elapsed before a worker could execute it."""
+
+
+class RateLimitedError(ServiceError):
+    """A client exceeded its per-client admission rate limit.
+
+    Raised synchronously from ``SolverService.submit`` /
+    ``submit_graph`` when the client's token bucket is empty — a typed
+    rejection the caller can distinguish from queue overload
+    (:class:`ServiceOverloadedError`) and back off on.
+    """

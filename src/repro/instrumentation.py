@@ -107,6 +107,14 @@ class Counters:
     graph_compiles: int = 0
     graph_runs: int = 0
     fused_matvec_pairs: int = 0
+    #: Plan persistence (:mod:`repro.store`): disk lookups that produced a
+    #: usable plan, lookups that found nothing, artifacts that failed
+    #: validation (bad magic/version/checksum/payload — each falls back to
+    #: a recompile, never an exception), and artifacts written.
+    plan_store_hits: int = 0
+    plan_store_misses: int = 0
+    plan_store_errors: int = 0
+    plan_store_writes: int = 0
 
     def bump(self, name: str, n: int = 1) -> None:
         """Increment field ``name`` by ``n``, exactly, from any thread.

@@ -74,7 +74,22 @@ to win.
 from .backpressure import BACKPRESSURE_POLICIES, BoundedRequestQueue
 from .batcher import AdmissionBatcher
 from .pipeline import PipelinedGraphJob, SegmentTask
-from .placement import PlacementSnapshot, PlacementTable, stable_placement_hash
+from .placement import (
+    PlacementSnapshot,
+    PlacementTable,
+    canonical_key_bytes,
+    stable_placement_hash,
+)
+from .qos import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    ClientRateLimiter,
+    RateLimit,
+    TokenBucket,
+    priority_name,
+    resolve_priority,
+)
 from .request import GraphJob, RequestTrace, SolveRequest
 from .service import SolverService
 from .telemetry import ServiceStats, ShardStats, ShardTelemetry
@@ -84,10 +99,15 @@ __all__ = [
     "AdmissionBatcher",
     "BACKPRESSURE_POLICIES",
     "BoundedRequestQueue",
+    "ClientRateLimiter",
     "GraphJob",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
     "PipelinedGraphJob",
     "PlacementSnapshot",
     "PlacementTable",
+    "RateLimit",
     "RequestTrace",
     "SegmentTask",
     "ServiceStats",
@@ -96,5 +116,9 @@ __all__ = [
     "ShardWorker",
     "SolveRequest",
     "SolverService",
+    "TokenBucket",
+    "canonical_key_bytes",
+    "priority_name",
+    "resolve_priority",
     "stable_placement_hash",
 ]

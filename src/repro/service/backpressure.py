@@ -13,9 +13,15 @@ gives way:
     immediately — load shedding at the front door, the caller retries or
     degrades.
 ``"shed_oldest"``
-    The oldest queued request is evicted to make room and returned to the
-    caller, which fails its future with ``ServiceOverloadedError`` —
-    freshest-first serving for workloads where a stale answer is worthless.
+    A queued request is evicted to make room and returned to the caller,
+    which fails its future with ``ServiceOverloadedError``.  The victim
+    is chosen QoS-first: lowest :attr:`~repro.service.request.SolveRequest.priority`
+    class goes first, nearest-expired deadline first within a class
+    (deadline-less requests shed last within their class), oldest-queued
+    on a full tie — the historical freshest-first behaviour for uniform
+    traffic, priority-ordered deadline-aware shedding the moment classes
+    differ.  An arriving request that *is* the weakest candidate sheds
+    itself: the queue never evicts a higher class to admit a lower one.
 
 The queue is a plain deque under one condition variable; ``close()`` wakes
 every waiter so service shutdown cannot strand a blocked producer.
@@ -119,10 +125,11 @@ class BoundedRequestQueue:
         """Enqueue ``request``, applying the overload policy when full.
 
         Returns the request *evicted* to make room (``shed_oldest`` only;
-        the caller owns failing its future) or ``None``.  Raises
-        :class:`ServiceOverloadedError` under ``reject`` (and under
-        ``block`` when ``timeout`` elapses), :class:`ServiceClosedError`
-        when the queue is closed.
+        the caller owns failing its future — the evicted request may be
+        ``request`` itself when it is the weakest candidate) or ``None``.
+        Raises :class:`ServiceOverloadedError` under ``reject`` (and
+        under ``block`` when ``timeout`` elapses),
+        :class:`ServiceClosedError` when the queue is closed.
         """
         with self._cond:
             if self._closed:
@@ -137,10 +144,18 @@ class BoundedRequestQueue:
                     f"under the 'reject' policy"
                 )
             if self._policy == "shed_oldest":
-                shed = self._items.popleft()
+                position = self._shed_victim(request)
+                if position < 0:
+                    return request
+                # Evict by position, not by value: SolveRequest equality
+                # compares operand arrays, so list.remove would be both
+                # wrong (could drop a value-equal sibling) and broken
+                # (numpy arrays refuse bool coercion).
+                victim = self._items[position]
+                del self._items[position]
                 self._items.append(request)
                 self._cond.notify_all()
-                return shed
+                return victim
             # "block": wait for a worker to make room.
             limit = None if timeout is None else time.monotonic() + timeout
             while len(self._items) >= self._maxsize:
@@ -158,6 +173,32 @@ class BoundedRequestQueue:
             self._items.append(request)
             self._cond.notify_all()
             return None
+
+    def _shed_victim(self, incoming: SolveRequest) -> int:
+        """Index of the queued request to evict, or -1 for ``incoming``.
+
+        Candidates are the queued admissions plus ``incoming`` itself —
+        never the handoff lane (mid-pipeline segments carry upstream
+        work).  The weakest candidate loses: lowest priority class
+        first; within a class, nearest deadline first (no deadline sorts
+        last — an expiring request is worth less than one with time to
+        spare); oldest arrival on a full tie, with ``incoming`` counted
+        newest.  Called under ``self._cond``.
+        """
+        far = float("inf")
+
+        def weakness(request: SolveRequest, position: int):
+            deadline = far if request.deadline is None else request.deadline
+            return (request.priority, deadline, position)
+
+        victim = -1
+        # The incoming request is the newest arrival by construction.
+        victim_rank = weakness(incoming, len(self._items))
+        for position, queued in enumerate(self._items):
+            rank = weakness(queued, position)
+            if rank < victim_rank:
+                victim, victim_rank = position, rank
+        return victim
 
     def put_handoff(self, request: SolveRequest) -> int:
         """Park a mid-pipeline segment in the priority handoff lane.

@@ -17,7 +17,7 @@ testable from the worker machinery.
 from __future__ import annotations
 
 import time
-from typing import Dict, Hashable, List
+from typing import Callable, Dict, Hashable, List
 
 from .backpressure import BoundedRequestQueue
 from .request import SolveRequest
@@ -33,6 +33,12 @@ class AdmissionBatcher:
     latency for the chance that same-plan requests pile up and flush
     together.  ``idle_poll`` bounds the wait for the first request so the
     owning worker can re-check its stop flag.
+
+    ``clock`` is the monotonic time source for the window cutoff.  It
+    must be a *monotonic* clock — ``time.monotonic`` by default, never
+    wall-clock ``time.time()``, whose NTP steps and DST jumps would
+    stretch or collapse admission windows — and is injectable so tests
+    can drive the window deadline deterministically.
     """
 
     def __init__(
@@ -41,6 +47,7 @@ class AdmissionBatcher:
         max_batch_size: int = 32,
         max_batch_delay: float = 0.002,
         idle_poll: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -50,6 +57,7 @@ class AdmissionBatcher:
         self._max_batch_size = int(max_batch_size)
         self._max_batch_delay = float(max_batch_delay)
         self._idle_poll = float(idle_poll)
+        self._clock = clock
 
     @property
     def max_batch_size(self) -> int:
@@ -70,9 +78,9 @@ class AdmissionBatcher:
         if first is None:
             return []
         window = [first]
-        cutoff = time.monotonic() + self._max_batch_delay
+        cutoff = self._clock() + self._max_batch_delay
         while len(window) < self._max_batch_size:
-            remaining = cutoff - time.monotonic()
+            remaining = cutoff - self._clock()
             if remaining <= 0:
                 window.extend(self._queue.drain(self._max_batch_size - len(window)))
                 break

@@ -38,6 +38,7 @@ from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 from ..api.config import ExecutionOptions
 from ..api.solution import Solution
 from ..graph.program import PipelineProgram, PipelineResult, ProgramSegment
+from .qos import PRIORITY_NORMAL
 from .request import RequestTrace, SolveRequest
 from .telemetry import ShardTelemetry
 
@@ -75,6 +76,8 @@ class SegmentTask:
             plan_key=self.job.graph_key,
             options=self.job.options,
             deadline=self.job.deadline,
+            priority=self.job.priority,
+            client_id=self.job.client_id,
             segment=self,
         )
 
@@ -104,6 +107,8 @@ class PipelinedGraphJob:
         options: Optional[ExecutionOptions] = None,
         deadline: Optional[float] = None,
         trace: Optional[RequestTrace] = None,
+        priority: int = PRIORITY_NORMAL,
+        client_id: Optional[str] = None,
     ):
         if len(segments) != len(shards):
             raise ValueError(
@@ -113,6 +118,12 @@ class PipelinedGraphJob:
         self.graph_key = graph_key
         self.options = options
         self.deadline = deadline
+        #: The whole job's admission class; every level-0 segment request
+        #: carries it, so a full shard queue sheds a low-class pipeline
+        #: before a high-class one (the failure latch then retires the
+        #: job's siblings).  Handoff-lane segments are shed-exempt.
+        self.priority = int(priority)
+        self.client_id = client_id
         self.home_shard = home_shard
         self.home_telemetry = home_telemetry
         self.dispatch = dispatch

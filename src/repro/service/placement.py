@@ -39,7 +39,12 @@ import threading
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Dict, Hashable, List, Mapping
 
-__all__ = ["PlacementSnapshot", "PlacementTable", "stable_placement_hash"]
+__all__ = [
+    "PlacementSnapshot",
+    "PlacementTable",
+    "canonical_key_bytes",
+    "stable_placement_hash",
+]
 
 #: How many recently-routed keys a table keeps for snapshots, by default.
 DEFAULT_TRACK_LIMIT = 256
@@ -89,6 +94,20 @@ def _encode(value: Any, out: List[bytes]) -> None:
         )
 
 
+def canonical_key_bytes(key: Hashable) -> bytes:
+    """The canonical byte encoding of a routing key.
+
+    The exact bytes :func:`stable_placement_hash` digests for shard
+    routing — exposed so other layers that need a content-addressed view
+    of a plan key (the :mod:`repro.store` persistence layer names its
+    on-disk artifacts by a digest of these bytes) can never drift from
+    the encoding that places the key on a shard.
+    """
+    encoded: List[bytes] = []
+    _encode(key, encoded)
+    return b"".join(encoded)
+
+
 def stable_placement_hash(key: Hashable) -> int:
     """A process-independent 64-bit hash of a routing key.
 
@@ -97,9 +116,7 @@ def stable_placement_hash(key: Hashable) -> int:
     key's value, so ``stable_placement_hash(key) % n_shards`` names the
     same shard in every process, every run.
     """
-    encoded: List[bytes] = []
-    _encode(key, encoded)
-    digest = hashlib.blake2b(b"".join(encoded), digest_size=8).digest()
+    digest = hashlib.blake2b(canonical_key_bytes(key), digest_size=8).digest()
     return int.from_bytes(digest, "big")
 
 

@@ -1,0 +1,216 @@
+"""Admission quality-of-service: priority classes and client rate limits.
+
+Two small, independently testable policies the service front door
+composes:
+
+* **Priority classes.**  Every :class:`~repro.service.request.SolveRequest`
+  carries an integer priority (higher = more important); the named
+  classes ``"low"`` / ``"normal"`` / ``"high"`` map to 0/1/2 via
+  :func:`resolve_priority`.  Priorities matter exactly once — when a
+  full ``shed_oldest`` queue must pick a victim
+  (:meth:`~repro.service.backpressure.BoundedRequestQueue.put`): the
+  lowest class goes first, nearest-expired first within a class, oldest
+  within a tie — so under overload the high classes keep their SLO
+  while the low classes degrade, Clipper-style.  Handoff lanes are
+  exempt: a mid-pipeline segment carries upstream work and is never a
+  shed candidate.
+
+* **Per-client token buckets.**  A :class:`ClientRateLimiter` holds one
+  :class:`TokenBucket` per client id (plus an optional default for
+  unlisted clients); ``submit`` consults it before queueing and raises
+  the *typed* :class:`~repro.errors.RateLimitedError` — distinguishable
+  from queue overload — when the client is out of tokens.  Requests
+  without a client id are never rate-limited.
+
+Both policies take an injectable monotonic ``clock`` so tests can step
+time deterministically (the same discipline as the admission batcher's
+window deadline — wall-clock steps must never change admission
+behaviour).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Union
+
+__all__ = [
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "PRIORITY_NAMES",
+    "ClientRateLimiter",
+    "RateLimit",
+    "TokenBucket",
+    "priority_name",
+    "resolve_priority",
+]
+
+PRIORITY_LOW = 0
+PRIORITY_NORMAL = 1
+PRIORITY_HIGH = 2
+
+#: Name → level for the named classes ``submit`` accepts.
+PRIORITY_NAMES: Mapping[str, int] = {
+    "low": PRIORITY_LOW,
+    "normal": PRIORITY_NORMAL,
+    "high": PRIORITY_HIGH,
+}
+
+_LEVEL_NAMES = {level: name for name, level in PRIORITY_NAMES.items()}
+
+
+def resolve_priority(priority: Union[str, int]) -> int:
+    """Normalize a priority argument to its integer level.
+
+    Accepts the named classes (``"low"``/``"normal"``/``"high"``,
+    case-insensitive) or any integer — custom levels between and beyond
+    the named ones are legal; only their *order* matters.
+    """
+    if isinstance(priority, str):
+        try:
+            return PRIORITY_NAMES[priority.lower()]
+        except KeyError:
+            known = ", ".join(sorted(PRIORITY_NAMES))
+            raise ValueError(
+                f"unknown priority class {priority!r}; one of: {known} "
+                f"(or an integer level)"
+            ) from None
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise TypeError(
+            f"priority must be a class name or an integer level, "
+            f"got {type(priority).__name__}"
+        )
+    return priority
+
+
+def priority_name(level: int) -> str:
+    """The class name of ``level`` (custom levels print as ``p<level>``)."""
+    return _LEVEL_NAMES.get(level, f"p{level}")
+
+
+@dataclass(frozen=True)
+class RateLimit:
+    """One client's admission budget: sustained rate plus burst headroom.
+
+    ``rate`` is tokens (requests) per second; ``burst`` is the bucket
+    capacity — how far a quiet client can get ahead of its sustained
+    rate.  ``burst`` defaults to ``rate`` when unset.
+    """
+
+    rate: float
+    burst: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0 req/s, got {self.rate}")
+        if self.burst is not None and self.burst < 1:
+            raise ValueError(f"burst must be >= 1 token, got {self.burst}")
+
+    @property
+    def capacity(self) -> float:
+        return float(self.rate if self.burst is None else self.burst)
+
+
+class TokenBucket:
+    """A classic token bucket over an injectable monotonic clock.
+
+    Refills continuously at ``limit.rate`` tokens/second up to
+    ``limit.capacity``; :meth:`try_acquire` is non-blocking — admission
+    control sheds, it never queues the caller.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        limit: RateLimit,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._limit = limit
+        self._clock = clock
+        self._tokens = limit.capacity
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    @property
+    def limit(self) -> RateLimit:
+        return self._limit
+
+    @property
+    def tokens(self) -> float:
+        """The current token balance (refilled to now)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(
+                self._limit.capacity,
+                self._tokens + elapsed * self._limit.rate,
+            )
+        self._updated = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False (and no debit) otherwise."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+
+class ClientRateLimiter:
+    """Per-client admission budgets for the service front door.
+
+    ``limits`` maps client ids to their :class:`RateLimit`;
+    ``default`` (optional) applies to any client id not listed.
+    Requests with no client id always pass — rate limiting is opt-in
+    per request, identity is the caller's claim.  Thread-safe; buckets
+    materialize lazily on a client's first request.
+    """
+
+    def __init__(
+        self,
+        limits: Optional[Mapping[str, RateLimit]] = None,
+        default: Optional[RateLimit] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._limits = dict(limits) if limits else {}
+        self._default = default
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._rejections: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def limit_for(self, client_id: str) -> Optional[RateLimit]:
+        """The limit governing ``client_id`` (``None`` = unlimited)."""
+        return self._limits.get(client_id, self._default)
+
+    def admit(self, client_id: Optional[str]) -> bool:
+        """Debit one token for ``client_id``; False when out of budget."""
+        if client_id is None:
+            return True
+        limit = self.limit_for(client_id)
+        if limit is None:
+            return True
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(limit, clock=self._clock)
+                self._buckets[client_id] = bucket
+        if bucket.try_acquire():
+            return True
+        with self._lock:
+            self._rejections[client_id] = (
+                self._rejections.get(client_id, 0) + 1
+            )
+        return False
+
+    def rejections(self) -> Dict[str, int]:
+        """Rate-limit rejections per client id (lifetime)."""
+        with self._lock:
+            return dict(self._rejections)

@@ -31,6 +31,7 @@ from typing import Any, Dict, Hashable, Optional, Tuple, TYPE_CHECKING
 
 from ..api.config import ExecutionOptions
 from ..obs.tracing import Span, Tracer
+from .qos import PRIORITY_NORMAL
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .pipeline import SegmentTask
@@ -86,6 +87,13 @@ class SolveRequest:
     ``(kind, shapes, w, options)`` for single solves, and
     ``("__graph__", stage keys, w, options)`` for pipeline jobs — always
     hashable, always stable for a given workload shape.
+
+    ``priority`` is the request's admission class (higher = more
+    important; the named classes map through
+    :func:`~repro.service.qos.resolve_priority`) — consulted only when a
+    full ``shed_oldest`` queue picks a victim.  ``client_id`` names the
+    submitting client for per-client rate limiting and accounting
+    (``None`` = anonymous, never rate-limited).
     """
 
     kind: str
@@ -93,6 +101,8 @@ class SolveRequest:
     plan_key: Hashable
     options: Optional[ExecutionOptions] = None
     kwargs: Dict[str, Any] = field(default_factory=dict)
+    priority: int = PRIORITY_NORMAL
+    client_id: Optional[str] = None
     graph: Optional[GraphJob] = None
     #: One placed segment of a cross-shard pipelined graph job; the worker
     #: executes it against the parent job's shared state instead of this

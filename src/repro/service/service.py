@@ -39,13 +39,18 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Future
-from typing import Any, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Hashable, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING,
+    Union,
+)
 
 from ..api.config import ArraySpec, ExecutionOptions
 from ..api.plan import PlanKey
 from ..api.solution import Solution
 from ..api.solver import Solver
-from ..errors import ServiceClosedError, ServiceOverloadedError
+from ..errors import (
+    RateLimitedError, ServiceClosedError, ServiceOverloadedError,
+)
 from ..graph.compiler import GraphCompiler
 from ..graph.graph import Graph, as_graph
 from ..graph.problems import Problem
@@ -55,11 +60,25 @@ from ..obs.tracing import NULL_SPAN, NULL_TRACER, Tracer
 from .backpressure import BACKPRESSURE_POLICIES, BoundedRequestQueue
 from .pipeline import PipelinedGraphJob, SegmentTask
 from .placement import PlacementTable
+from .qos import (
+    PRIORITY_NORMAL, ClientRateLimiter, RateLimit, priority_name,
+    resolve_priority,
+)
 from .request import GraphJob, RequestTrace, SolveRequest
 from .telemetry import ServiceStats, ShardTelemetry
 from .workers import ShardWorker
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import PlanStore
+
 __all__ = ["SolverService"]
+
+
+def _as_rate_limit(value: "RateLimit | float | int") -> RateLimit:
+    """Normalize a rate-limit argument (bare numbers mean req/s)."""
+    if isinstance(value, RateLimit):
+        return value
+    return RateLimit(rate=float(value))
 
 
 class SolverService:
@@ -92,6 +111,20 @@ class SolverService:
         Under the ``block`` policy, how long ``submit`` may wait for queue
         space before raising :class:`ServiceOverloadedError`
         (``None`` = wait indefinitely).
+    store:
+        Optional :class:`~repro.store.PlanStore` shared by every shard
+        solver (and the pipelined-graph compile solver): plan-cache
+        misses try disk before compiling, fresh compiles write through.
+    warm_start:
+        With a ``store``, preload every persisted plan onto its placed
+        shard at construction (and into the compile solver), so a cold
+        process answers request #1 at warm-cache latency with zero plan
+        builds.  Ignored without a store.
+    rate_limits / default_rate_limit:
+        Per-client admission budgets: a mapping of client id →
+        :class:`~repro.service.qos.RateLimit` (bare numbers mean
+        requests/second), plus an optional default for unlisted
+        clients.  Requests without a ``client_id`` are never limited.
     """
 
     def __init__(
@@ -108,6 +141,10 @@ class SolverService:
         submit_timeout: Optional[float] = None,
         idle_poll: float = 0.05,
         tracer: Optional[Tracer] = None,
+        store: "Optional[PlanStore]" = None,
+        warm_start: bool = True,
+        rate_limits: Optional[Mapping[str, "RateLimit | float | int"]] = None,
+        default_rate_limit: "RateLimit | float | int | None" = None,
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -121,6 +158,19 @@ class SolverService:
         self._policy = backpressure
         self._submit_timeout = submit_timeout
         self._closed = False
+        self._store = store
+        self._limiter: Optional[ClientRateLimiter] = None
+        if rate_limits or default_rate_limit is not None:
+            self._limiter = ClientRateLimiter(
+                limits={
+                    client: _as_rate_limit(limit)
+                    for client, limit in (rate_limits or {}).items()
+                },
+                default=(
+                    None if default_rate_limit is None
+                    else _as_rate_limit(default_rate_limit)
+                ),
+            )
         # Request-scoped tracing; NULL_TRACER (the default) makes every
         # span call a guarded no-op on the serving path.
         self._tracer = tracer if tracer is not None else NULL_TRACER
@@ -135,7 +185,8 @@ class SolverService:
         # ``stats().cache``: that column reports the shard-local serving
         # caches.
         self._compile_solver = Solver(
-            self._spec, self._options, plan_cache_size=plan_cache_size
+            self._spec, self._options, plan_cache_size=plan_cache_size,
+            store=store,
         )
         self._shards: List[ShardWorker] = []
         for shard_id in range(int(n_shards)):
@@ -143,7 +194,8 @@ class SolverService:
             worker = ShardWorker(
                 shard_id=shard_id,
                 solver=Solver(
-                    self._spec, self._options, plan_cache_size=plan_cache_size
+                    self._spec, self._options,
+                    plan_cache_size=plan_cache_size, store=store,
                 ),
                 queue=queue,
                 telemetry=ShardTelemetry(shard_id, registry=self._metrics),
@@ -152,6 +204,11 @@ class SolverService:
                 idle_poll=idle_poll,
             )
             self._shards.append(worker)
+        # Preload persisted plans onto their placed shards before any
+        # worker thread runs, so request #1 of a cold process hits a warm
+        # cache (zero plan builds).
+        if store is not None and warm_start:
+            self.warm_start()
         for worker in self._shards:
             worker.start()
 
@@ -190,6 +247,44 @@ class SolverService:
     def metrics(self) -> MetricsRegistry:
         """The fleet-wide metrics registry backing every shard's telemetry."""
         return self._metrics
+
+    @property
+    def store(self) -> "Optional[PlanStore]":
+        """The plan persistence store shared by the shard solvers."""
+        return self._store
+
+    @property
+    def rate_limiter(self) -> Optional[ClientRateLimiter]:
+        """The per-client admission limiter (``None`` = unlimited)."""
+        return self._limiter
+
+    def warm_start(self) -> int:
+        """Preload every persisted plan onto its placed shard.
+
+        Each valid artifact in the store is deserialized once and
+        adopted into the plan cache of the shard its key routes to —
+        plus the shared compile solver, so pipelined graphs reuse the
+        same warm stage plans.  Plans compiled for a different array
+        geometry (``w``) are skipped.  Returns the number of plans
+        preloaded.  Idempotent; also callable later to pick up
+        artifacts written by other processes.
+
+        Thread-safety note: adoption respects the same-key→same-shard
+        discipline — a key's (stateful) executor lands only on the one
+        shard whose thread will ever execute it, which is also the
+        thread that executes that key's pipelined segments.
+        """
+        if self._store is None:
+            return 0
+        count = 0
+        for key, plan in self._store.plans():
+            if plan.spec.w != self._spec.w:
+                continue
+            shard = self._placement.shard_of(key)
+            self._shards[shard].solver.adopt_plan(plan)
+            self._compile_solver.adopt_plan(plan)
+            count += 1
+        return count
 
     def plan_key(
         self,
@@ -235,6 +330,8 @@ class SolverService:
         *operands,
         options: Optional[ExecutionOptions] = None,
         timeout: Optional[float] = None,
+        priority: Union[str, int] = "normal",
+        client_id: Optional[str] = None,
         **kwargs,
     ) -> "Future[Solution]":
         """Admit one solve request; returns the future of its ``Solution``.
@@ -245,13 +342,19 @@ class SolverService:
         string submissions share plan keys, shards and admission batches.
         ``timeout`` is the request's *deadline* budget in seconds: if no
         worker gets to it in time it fails with
-        :class:`~repro.errors.DeadlineExceededError`.  Extra keyword
-        arguments are kind-specific execution arguments (``lower=False``,
-        ``x0=...``); requests carrying them are executed singly rather
-        than batch-flushed.
+        :class:`~repro.errors.DeadlineExceededError`.  ``priority`` is
+        the request's admission class (``"low"``/``"normal"``/``"high"``
+        or an integer level) — under ``shed_oldest`` overload, lower
+        classes are evicted first.  ``client_id`` names the submitting
+        client; when the service has rate limits, a client out of budget
+        gets a synchronous :class:`~repro.errors.RateLimitedError`.
+        Extra keyword arguments are kind-specific execution arguments
+        (``lower=False``, ``x0=...``); requests carrying them are
+        executed singly rather than batch-flushed.
         """
         if self._closed:
             raise ServiceClosedError("cannot submit to a closed service")
+        level = resolve_priority(priority)
         if isinstance(kind, Problem):
             problem = kind
             problem.require_bare(operands, kwargs)
@@ -268,13 +371,33 @@ class SolverService:
             options=options,
             kwargs=dict(kwargs),
             deadline=None if timeout is None else time.monotonic() + timeout,
+            priority=level,
+            client_id=client_id,
         )
         if self._tracer.enabled:
             request.trace = RequestTrace(
                 tracer=self._tracer,
-                root=self._tracer.start_trace(f"request {kind}", kind=kind),
+                root=self._tracer.start_trace(
+                    f"request {kind}", kind=kind,
+                    priority=priority_name(level),
+                ),
             )
+        if not self._admit_client(client_id, key):
+            exc = RateLimitedError(
+                f"client {client_id!r} exceeded its admission rate limit"
+            )
+            request.fail(exc)  # closes the trace root; future never surfaced
+            raise exc
         return self._admit(request)
+
+    def _admit_client(self, client_id: Optional[str], key: Hashable) -> bool:
+        """Debit the client's token bucket; account a refusal on the
+        shard the request would have routed to."""
+        if self._limiter is None or self._limiter.admit(client_id):
+            return True
+        worker = self._shards[self.shard_index(key)]
+        worker.telemetry.record_rate_limited()
+        return False
 
     def submit_graph(
         self,
@@ -284,6 +407,8 @@ class SolverService:
         options: Optional[ExecutionOptions] = None,
         timeout: Optional[float] = None,
         pipeline: Optional[bool] = None,
+        priority: Union[str, int] = "normal",
+        client_id: Optional[str] = None,
     ) -> "Future[PipelineResult]":
         """Admit a whole pipeline graph; returns the future of its result.
 
@@ -307,9 +432,13 @@ class SolverService:
         share a home shard).  ``pipeline=False`` forces the classic
         single-shard path; ``pipeline=True`` merely *allows* splitting
         (a single-segment program still runs home-shard).
+        ``priority`` / ``client_id`` are the same admission QoS controls
+        as :meth:`submit`; a whole pipelined job carries one class, and
+        shedding any of its level-0 segments retires the whole job.
         """
         if self._closed:
             raise ServiceClosedError("cannot submit to a closed service")
+        level = resolve_priority(priority)
         graph = as_graph(graph)
         base = options if options is not None else self._options
         stage_keys = graph.plan_keys(self._spec.w, base)
@@ -320,9 +449,17 @@ class SolverService:
             trace = RequestTrace(
                 tracer=self._tracer,
                 root=self._tracer.start_trace(
-                    "request graph", kind="graph", stages=len(stage_keys)
+                    "request graph", kind="graph", stages=len(stage_keys),
+                    priority=priority_name(level),
                 ),
             )
+        if not self._admit_client(client_id, key):
+            exc = RateLimitedError(
+                f"client {client_id!r} exceeded its admission rate limit"
+            )
+            if trace is not None:
+                trace.root.finish(status="error", error=exc)
+            raise exc
         if pipeline is not False and len(self._shards) > 1:
             # The compile span is *activated* so the shared solver's
             # plan-lookup children (hit/miss, cold builds) nest under it.
@@ -342,7 +479,8 @@ class SolverService:
                 raise
             if len(segments) > 1:
                 return self._admit_pipelined(
-                    program, key, segments, options, deadline, trace
+                    program, key, segments, options, deadline, trace,
+                    priority=level, client_id=client_id,
                 )
         request = SolveRequest(
             kind="graph",
@@ -352,6 +490,8 @@ class SolverService:
             graph=GraphJob(graph=graph, fuse=fuse),
             deadline=deadline,
             trace=trace,
+            priority=level,
+            client_id=client_id,
         )
         return self._admit(request)
 
@@ -392,6 +532,8 @@ class SolverService:
         options: Optional[ExecutionOptions],
         deadline: Optional[float],
         trace: Optional[RequestTrace] = None,
+        priority: int = PRIORITY_NORMAL,
+        client_id: Optional[str] = None,
     ) -> "Future[PipelineResult]":
         """Admit one cross-shard pipelined graph job.
 
@@ -418,6 +560,8 @@ class SolverService:
             options=options,
             deadline=deadline,
             trace=trace,
+            priority=priority,
+            client_id=client_id,
         )
         wait = None
         if trace is not None:
@@ -473,15 +617,18 @@ class SolverService:
     def _fail_shed(self, worker: ShardWorker, shed: SolveRequest) -> None:
         """Fail a request evicted under ``shed_oldest``.
 
-        A shed *segment* fails its whole pipelined job — its siblings
-        (queued, in flight, or yet to dispatch) all become no-ops — so a
+        The victim is the queue's weakest candidate — lowest priority
+        class, nearest deadline, oldest — and may be the *arriving*
+        request itself when everything queued outranks it.  A shed
+        *segment* fails its whole pipelined job — its siblings (queued,
+        in flight, or yet to dispatch) all become no-ops — so a
         mid-pipeline eviction can never strand a partial graph.
         """
-        worker.telemetry.record_shed()
+        worker.telemetry.record_shed(priority=shed.priority)
         exc = ServiceOverloadedError(
-            f"request shed after {shed.latency():.3f}s queued: a "
-            f"newer request arrived on a full shard queue "
-            f"(policy 'shed_oldest')"
+            f"request shed after {shed.latency():.3f}s "
+            f"(class {priority_name(shed.priority)}, policy 'shed_oldest'): "
+            f"shard queue full"
         )
         if shed.segment is not None:
             shed.segment.job.fail(exc)

@@ -31,6 +31,7 @@ from ..api.plan import CacheStats
 from ..instrumentation import counters as _instrumentation_counters
 from ..obs.metrics import Counter, MetricsRegistry, percentiles
 from .placement import PlacementSnapshot
+from .qos import priority_name
 
 __all__ = ["ShardStats", "ShardTelemetry", "ServiceStats", "percentile"]
 
@@ -108,6 +109,13 @@ class ShardStats:
     handoffs_rejected: int = 0
     #: High-water depth of this shard's handoff lane.
     max_handoff_depth: int = 0
+    #: Submissions refused by the per-client rate limiter (typed
+    #: :class:`~repro.errors.RateLimitedError` rejections).
+    rate_limited: int = 0
+    #: Shed evictions per priority class name ("low"/"normal"/"high" or
+    #: "p<level>") — the observable proof that overload sheds
+    #: lowest-class-first.
+    shed_by_priority: Mapping[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
         """One-shard, one-paragraph report (``ServiceStats.describe`` uses it)."""
@@ -164,6 +172,7 @@ class ShardTelemetry:
         self._failed = make.counter("service.failed", shard=shard)
         self._rejected = make.counter("service.rejected", shard=shard)
         self._shed = make.counter("service.shed", shard=shard)
+        self._rate_limited = make.counter("service.rate_limited", shard=shard)
         self._expired = make.counter("service.expired", shard=shard)
         self._batches = make.counter("service.batches", shard=shard)
         self._graphs = make.counter("service.graphs", shard=shard)
@@ -192,6 +201,7 @@ class ShardTelemetry:
         self._iterations_by_kind: Dict[str, Counter] = {}
         self._stages_by_kind: Dict[str, Counter] = {}
         self._batch_sizes: Dict[int, Counter] = {}
+        self._shed_by_priority: Dict[str, Counter] = {}
 
     def _labelled_counter(
         self, cache: Dict, name: str, label: str, value: object
@@ -218,8 +228,19 @@ class ShardTelemetry:
     def record_rejected(self) -> None:
         self._rejected.inc()
 
-    def record_shed(self) -> None:
-        self._shed.inc()
+    def record_shed(self, priority: Optional[int] = None) -> None:
+        """Account one shed eviction, classed by the victim's priority."""
+        with self.registry.lock:
+            self._shed.inc()
+            if priority is not None:
+                self._labelled_counter(
+                    self._shed_by_priority, "service.shed_priority",
+                    "priority", priority_name(priority),
+                ).inc()
+
+    def record_rate_limited(self) -> None:
+        """Account one typed rate-limit rejection at the front door."""
+        self._rate_limited.inc()
 
     # -- execution events (the shard worker) -------------------------------------
     def record_batch(self, size: int) -> None:
@@ -354,6 +375,11 @@ class ShardTelemetry:
                 handoffs=self._handoffs.value,
                 handoffs_rejected=self._handoffs_rejected.value,
                 max_handoff_depth=int(self._handoff_depth.highwater),
+                rate_limited=self._rate_limited.value,
+                shed_by_priority={
+                    name: instrument.value
+                    for name, instrument in self._shed_by_priority.items()
+                },
             )
 
     def describe(
@@ -403,6 +429,10 @@ class ServiceStats:
     handoffs: int = 0
     handoffs_rejected: int = 0
     max_handoff_depth: int = 0
+    #: Typed per-client rate-limit rejections summed across shards.
+    rate_limited: int = 0
+    #: Shed evictions per priority class name, fleet-wide.
+    shed_by_priority: Mapping[str, int] = field(default_factory=dict)
     #: The routing table's view: lookups, overrides, tracked key→shard
     #: assignments (``None`` for snapshots built without a service).
     placement: Optional[PlacementSnapshot] = None
@@ -417,6 +447,7 @@ class ServiceStats:
         histogram: "TallyCounter[int]" = TallyCounter()
         iterations: "TallyCounter[str]" = TallyCounter()
         stages_by_kind: "TallyCounter[str]" = TallyCounter()
+        shed_by_priority: "TallyCounter[str]" = TallyCounter()
         pooled: List[float] = []
         pooled_stages: List[float] = []
         cache = CacheStats()
@@ -425,6 +456,7 @@ class ServiceStats:
             histogram.update(shard.batch_size_histogram)
             iterations.update(shard.iterations_by_kind)
             stages_by_kind.update(shard.graph_stages_by_kind)
+            shed_by_priority.update(shard.shed_by_priority)
             pooled.extend(shard.latency_sample)
             pooled_stages.extend(shard.stage_latency_sample)
             cache = cache + shard.cache
@@ -463,6 +495,8 @@ class ServiceStats:
             max_handoff_depth=max(
                 (s.max_handoff_depth for s in shards), default=0
             ),
+            rate_limited=sum(s.rate_limited for s in shards),
+            shed_by_priority=dict(shed_by_priority),
             placement=placement,
         )
 
@@ -480,7 +514,8 @@ class ServiceStats:
                 f"  requests:    {self.submitted} submitted, "
                 f"{self.completed} completed, {self.failed} failed, "
                 f"{self.rejected} rejected, {self.shed} shed, "
-                f"{self.expired} expired"
+                f"{self.expired} expired, "
+                f"{self.rate_limited} rate-limited"
             ),
             (
                 f"  queue:       {self.queue_depth} pending now, "
@@ -507,6 +542,12 @@ class ServiceStats:
                 for kind, count in sorted(self.requests_by_kind.items())
             )
             lines.insert(2, f"  by kind:     {by_kind}")
+        if self.shed_by_priority:
+            by_class = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.shed_by_priority.items())
+            )
+            lines.append(f"  shed by class: {by_class}")
         if self.iterations_by_kind:
             sweeps = ", ".join(
                 f"{kind}={count}"

@@ -1,0 +1,29 @@
+"""Replay/soak harness: seeded mixed-traffic streams against the service.
+
+The proof layer for the serving + persistence + QoS stack.  A
+:class:`~repro.soak.workload.SoakWorkload` turns one seed into one
+reproducible stream of mixed traffic (matvec / matmul / jacobi /
+pipelined graphs / NN forward passes across three priority classes and
+their client pools), and :func:`~repro.soak.harness.run_soak` replays it
+through a :class:`~repro.service.service.SolverService` with closed-loop
+client threads, returning a :class:`~repro.soak.harness.SoakResult`
+carrying per-class latency percentiles and typed-error tallies, the
+sustained RPS, the process-counter delta (``plan_builds == 0`` after
+warm-up — the zero-recompile proof), and the tracer's ``open_spans``
+(0 — every path closed its span tree).
+
+``benchmarks/test_soak.py`` runs the smoke scale in tier-1 and the ~1M
+request soak under ``REPRO_SOAK_FULL=1``, recording ``BENCH_soak.json``;
+``examples/soak_demo.py`` narrates a small run.
+"""
+
+from .harness import SoakConfig, SoakResult, run_soak
+from .workload import SoakWorkload, WorkItem
+
+__all__ = [
+    "SoakConfig",
+    "SoakResult",
+    "SoakWorkload",
+    "WorkItem",
+    "run_soak",
+]

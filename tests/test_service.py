@@ -519,3 +519,306 @@ class TestConcurrencySoak:
         # Routing kept every plan on one home shard: one miss per distinct
         # plan fleet-wide, everything else warm.
         assert stats.cache.misses == len(problems)
+
+
+# --------------------------------------------------------------------------- #
+# QoS: priority classes, shed victim selection, rate limits (ISSUE 9)
+# --------------------------------------------------------------------------- #
+class TestQosPrimitives:
+    def test_resolve_priority_names_and_ints(self):
+        from repro.service import (
+            PRIORITY_HIGH,
+            PRIORITY_LOW,
+            PRIORITY_NORMAL,
+            priority_name,
+            resolve_priority,
+        )
+
+        assert resolve_priority("high") == PRIORITY_HIGH
+        assert resolve_priority("NORMAL") == PRIORITY_NORMAL
+        assert resolve_priority("Low") == PRIORITY_LOW
+        assert resolve_priority(2) == PRIORITY_HIGH
+        assert priority_name(PRIORITY_LOW) == "low"
+        assert priority_name(7) == "p7"
+        with pytest.raises(ValueError):
+            resolve_priority("urgent")
+        with pytest.raises(TypeError):
+            resolve_priority(True)  # bool is not a priority level
+        with pytest.raises(TypeError):
+            resolve_priority(1.5)
+
+    def test_token_bucket_with_patched_clock(self):
+        from repro.service import RateLimit, TokenBucket
+
+        now = [1000.0]
+        bucket = TokenBucket(RateLimit(rate=1.0, burst=2), clock=lambda: now[0])
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire(), "burst of 2 must be exhausted"
+        now[0] += 1.0  # exactly one token refills at rate=1/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        now[0] += 100.0  # refill saturates at the burst capacity
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_rate_limit_validation(self):
+        from repro.service import RateLimit
+
+        with pytest.raises(ValueError):
+            RateLimit(rate=0.0)
+        with pytest.raises(ValueError):
+            RateLimit(rate=1.0, burst=0.0)
+        assert RateLimit(rate=3.0).capacity == 3.0
+        assert RateLimit(rate=3.0, burst=10.0).capacity == 10.0
+
+    def test_client_rate_limiter_scopes_and_counts(self):
+        from repro.service import ClientRateLimiter, RateLimit
+
+        now = [0.0]
+        limiter = ClientRateLimiter(
+            limits={"noisy": RateLimit(rate=1.0, burst=1)},
+            default=RateLimit(rate=1.0, burst=2),
+            clock=lambda: now[0],
+        )
+        # Anonymous requests are never limited.
+        assert all(limiter.admit(None) for _ in range(10))
+        assert limiter.admit("noisy")
+        assert not limiter.admit("noisy")
+        # Unknown clients get the default limit, each with its own bucket.
+        assert limiter.admit("other") and limiter.admit("other")
+        assert not limiter.admit("other")
+        assert limiter.admit("third")
+        rejections = limiter.rejections()
+        assert rejections["noisy"] == 1 and rejections["other"] == 1
+
+
+class TestShedVictimSelection:
+    """Deterministic shed ordering on the bare queue (no threads)."""
+
+    @staticmethod
+    def _req(priority: int, deadline=None, tag: str = "") -> SolveRequest:
+        return SolveRequest(
+            kind="matvec",
+            operands=(tag,),
+            plan_key=("matvec", (8, 8), W, None),
+            priority=priority,
+            deadline=deadline,
+        )
+
+    def test_lowest_priority_class_sheds_first(self):
+        from repro.service import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL
+
+        queue = BoundedRequestQueue(2, policy="shed_oldest")
+        low = self._req(PRIORITY_LOW)
+        high = self._req(PRIORITY_HIGH)
+        queue.put(low)
+        queue.put(high)
+        incoming = self._req(PRIORITY_NORMAL)
+        assert queue.put(incoming) is low
+        assert queue.drain(10) == [high, incoming]
+
+    def test_nearest_deadline_sheds_first_within_a_class(self):
+        from repro.service import PRIORITY_LOW
+
+        queue = BoundedRequestQueue(2, policy="shed_oldest")
+        lax = self._req(PRIORITY_LOW, deadline=1e9 + 50.0)
+        urgent = self._req(PRIORITY_LOW, deadline=1e9 + 1.0)
+        queue.put(lax)
+        queue.put(urgent)
+        assert queue.put(self._req(PRIORITY_LOW, deadline=1e9 + 20.0)) is urgent
+
+    def test_no_deadline_outranks_any_deadline(self):
+        from repro.service import PRIORITY_LOW
+
+        queue = BoundedRequestQueue(2, policy="shed_oldest")
+        unhurried = self._req(PRIORITY_LOW, deadline=None)
+        hurried = self._req(PRIORITY_LOW, deadline=1e12)
+        queue.put(unhurried)
+        queue.put(hurried)
+        assert queue.put(self._req(PRIORITY_LOW)) is hurried
+
+    def test_incoming_sheds_itself_when_weakest(self):
+        from repro.service import PRIORITY_HIGH, PRIORITY_LOW
+
+        queue = BoundedRequestQueue(2, policy="shed_oldest")
+        queue.put(self._req(PRIORITY_HIGH))
+        queue.put(self._req(PRIORITY_HIGH))
+        incoming = self._req(PRIORITY_LOW)
+        assert queue.put(incoming) is incoming
+        assert len(queue) == 2  # the queue kept its stronger residents
+
+    def test_equal_class_fifo_tie_break_with_incoming_newest(self):
+        """Legacy shed-oldest behaviour is the all-ties special case."""
+        queue = BoundedRequestQueue(2, policy="shed_oldest")
+        oldest = self._req(1, tag="oldest")
+        queue.put(oldest)
+        queue.put(self._req(1, tag="middle"))
+        assert queue.put(self._req(1, tag="incoming")) is oldest
+
+    def test_handoff_lane_is_shed_exempt(self):
+        from repro.service import PRIORITY_HIGH, PRIORITY_LOW
+
+        queue = BoundedRequestQueue(1, policy="shed_oldest")
+        segment = self._req(PRIORITY_LOW, tag="segment")
+        queue.put_handoff(segment)
+        resident = self._req(PRIORITY_LOW, tag="resident")
+        queue.put(resident)
+        # The handoff lane's low-priority segment is never a candidate:
+        # the admission-lane resident is shed instead.
+        assert queue.put(self._req(PRIORITY_HIGH)) is resident
+        assert queue.get(timeout=1.0) is segment  # lane drains first, intact
+
+
+class TestServiceQos:
+    def test_rate_limited_client_gets_typed_rejection(self, rng):
+        from repro.errors import RateLimitedError
+        from repro.service import RateLimit
+
+        a, x = rng.normal(size=(8, 8)), rng.normal(size=8)
+        service = SolverService(
+            ArraySpec(W),
+            n_shards=1,
+            rate_limits={"noisy": RateLimit(rate=0.001, burst=2)},
+        )
+        try:
+            ok = [service.submit("matvec", a, x, client_id="noisy") for _ in range(2)]
+            with pytest.raises(RateLimitedError, match="noisy"):
+                service.submit("matvec", a, x, client_id="noisy")
+            # Anonymous and other clients are unaffected (no default limit).
+            service.submit("matvec", a, x).result(timeout=30)
+            service.submit("matvec", a, x, client_id="quiet").result(timeout=30)
+            for future in ok:
+                future.result(timeout=30)
+        finally:
+            service.close()
+        stats = service.stats()
+        assert stats.rate_limited == 1
+        assert stats.completed == 4
+
+    def test_default_rate_limit_applies_to_every_client(self, rng):
+        from repro.errors import RateLimitedError
+        from repro.service import RateLimit
+
+        a, x = rng.normal(size=(8, 8)), rng.normal(size=8)
+        service = SolverService(
+            ArraySpec(W),
+            n_shards=1,
+            default_rate_limit=RateLimit(rate=0.001, burst=1),
+        )
+        try:
+            service.submit("matvec", a, x, client_id="anyone").result(timeout=30)
+            with pytest.raises(RateLimitedError):
+                for _ in range(10):
+                    service.submit("matvec", a, x, client_id="anyone")
+        finally:
+            service.close()
+
+    def test_rate_limited_graph_submission(self, rng):
+        from repro.errors import RateLimitedError
+        from repro.graph import Graph, MatVec
+        from repro.service import RateLimit
+
+        a = rng.normal(size=(8, 8))
+        graph = Graph(MatVec(a, rng.normal(size=8), name="out"))
+        service = SolverService(
+            ArraySpec(W),
+            n_shards=2,
+            rate_limits={"bulk": RateLimit(rate=0.001, burst=1)},
+        )
+        try:
+            service.submit_graph(graph, client_id="bulk").result(timeout=30)
+            with pytest.raises(RateLimitedError):
+                service.submit_graph(graph, client_id="bulk")
+        finally:
+            service.close()
+        assert service.stats().rate_limited == 1
+
+    def test_invalid_priority_rejected_synchronously(self, rng):
+        a, x = rng.normal(size=(8, 8)), rng.normal(size=8)
+        with SolverService(ArraySpec(W), n_shards=1) as service:
+            with pytest.raises(ValueError):
+                service.submit("matvec", a, x, priority="urgent")
+
+    def test_priority_shed_prefers_low_and_labels_telemetry(
+        self, rng, monkeypatch
+    ):
+        service, gate = _stalled_service(monkeypatch, "shed_oldest", queue_depth=2)
+        a, x = rng.normal(size=(8, 8)), rng.normal(size=8)
+        try:
+            first = service.submit("matvec", a, x, priority="high")
+            _wait_until(lambda: len(service.shards[0].queue) == 0)
+            low = service.submit("matvec", a, x, priority="low")
+            normal = service.submit("matvec", a, x)  # queue now full
+            high = service.submit("matvec", a, x, priority="high")
+            with pytest.raises(ServiceOverloadedError, match="class low"):
+                low.result(timeout=30)
+            gate.set()
+            for future in (first, normal, high):
+                assert future.result(timeout=30) is not None
+        finally:
+            gate.set()
+            service.close()
+        stats = service.stats()
+        assert stats.shed == 1
+        assert stats.shed_by_priority == {"low": 1}
+
+
+class TestBatcherClock:
+    """The admission window runs on an injectable *monotonic* clock."""
+
+    def test_injected_clock_governs_the_window_cutoff(self):
+        # A clock that leaps 10s per reading expires the 5s window
+        # between the first admission and the cutoff check — the whole
+        # window must assemble instantly in wall time via drain().
+        ticks = iter(range(0, 10_000, 10))
+        queue = BoundedRequestQueue(8)
+        for _ in range(3):
+            queue.put(_request())
+        batcher = AdmissionBatcher(
+            queue,
+            max_batch_size=8,
+            max_batch_delay=5.0,
+            idle_poll=0.01,
+            clock=lambda: float(next(ticks)),
+        )
+        start = time.monotonic()
+        window = batcher.next_window()
+        assert len(window) == 3
+        assert time.monotonic() - start < 1.0, (
+            "a 5s max_batch_delay leaked into wall time despite the "
+            "injected clock having expired the window"
+        )
+
+    def test_frozen_clock_still_fills_by_size(self):
+        # With the injected clock stopped, the size cap (not wall time)
+        # must close the window: no deadline math may fall through to a
+        # different time source.
+        queue = BoundedRequestQueue(8)
+        for _ in range(4):
+            queue.put(_request())
+        batcher = AdmissionBatcher(
+            queue,
+            max_batch_size=4,
+            max_batch_delay=30.0,
+            idle_poll=0.01,
+            clock=lambda: 123.456,
+        )
+        start = time.monotonic()
+        assert len(batcher.next_window()) == 4
+        assert time.monotonic() - start < 1.0
+
+    def test_wall_clock_jumps_cannot_stretch_the_window(self, monkeypatch):
+        # Regression for the monotonic requirement: a wall-clock step
+        # (NTP, DST) must not affect the default batcher, which runs on
+        # time.monotonic.
+        queue = BoundedRequestQueue(8)
+        queue.put(_request())
+        monkeypatch.setattr(time, "time", lambda: -1e12)
+        batcher = AdmissionBatcher(
+            queue, max_batch_size=4, max_batch_delay=0.005, idle_poll=0.01
+        )
+        start = time.monotonic()
+        assert len(batcher.next_window()) == 1
+        assert time.monotonic() - start < 1.0

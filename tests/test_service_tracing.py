@@ -422,3 +422,99 @@ class TestCounterExactnessUnderLoad:
         assert not errors
         assert delta.plan_executions == n_threads * per_thread
         assert delta.plan_builds == 0
+
+
+class TestQosPathsCloseTheirSpans:
+    """Rate-limit rejections and priority sheds leave no open spans."""
+
+    def test_rate_limited_submit_closes_its_root(self, rng):
+        from repro.errors import RateLimitedError
+        from repro.service import RateLimit
+
+        a, x = rng.normal(size=(N, N)), rng.normal(size=N)
+        tracer = Tracer()
+        with SolverService(
+            ArraySpec(W),
+            n_shards=1,
+            tracer=tracer,
+            rate_limits={"noisy": RateLimit(rate=0.001, burst=1)},
+        ) as service:
+            service.submit("matvec", a, x, client_id="noisy").result(timeout=5.0)
+            rejected = 0
+            for _ in range(3):
+                try:
+                    service.submit("matvec", a, x, client_id="noisy")
+                except RateLimitedError:
+                    rejected += 1
+            assert rejected == 3
+        assert tracer.open_spans == 0
+        roots = _roots(tracer.spans())
+        assert [r.status for r in roots].count("error") == rejected
+        errored = [r for r in roots if r.status == "error"]
+        assert all("RateLimitedError" in r.error for r in errored)
+
+    def test_rate_limited_graph_closes_its_root(self, pipeline):
+        from repro.errors import RateLimitedError
+        from repro.service import RateLimit
+
+        tracer = Tracer()
+        with SolverService(
+            ArraySpec(W),
+            n_shards=2,
+            tracer=tracer,
+            rate_limits={"bulk": RateLimit(rate=0.001, burst=1)},
+        ) as service:
+            service.submit_graph(pipeline, client_id="bulk").result(timeout=5.0)
+            with pytest.raises(RateLimitedError):
+                service.submit_graph(pipeline, client_id="bulk")
+        assert tracer.open_spans == 0
+        graph_roots = [
+            r for r in _roots(tracer.spans()) if r.name == "request graph"
+        ]
+        assert sorted(r.status for r in graph_roots) == ["error", "ok"]
+
+    def test_priority_shed_closes_the_victims_root(self, rng, monkeypatch):
+        a, x = rng.normal(size=(N, N)), rng.normal(size=N)
+        tracer = Tracer()
+        service = SolverService(
+            ArraySpec(W),
+            n_shards=1,
+            queue_depth=1,
+            backpressure="shed_oldest",
+            max_batch_size=1,
+            max_batch_delay=0.0,
+            idle_poll=0.01,
+            tracer=tracer,
+        )
+        gate = threading.Event()
+        shard_solver = service.shards[0].solver
+        original = shard_solver.solve
+
+        def gated(*args, **kwargs):
+            gate.wait(timeout=30)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(shard_solver, "solve", gated)
+        try:
+            first = service.submit("matvec", a, x, priority="high")
+            deadline = time.monotonic() + 2.0
+            while len(service.shards[0].queue) and time.monotonic() < deadline:
+                time.sleep(0.002)
+            low = service.submit("matvec", a, x, priority="low")
+            high = service.submit("matvec", a, x, priority="high")
+            with pytest.raises(ServiceOverloadedError, match="class low"):
+                low.result(timeout=5.0)
+            gate.set()
+            first.result(timeout=5.0)
+            high.result(timeout=5.0)
+        finally:
+            gate.set()
+            service.close()
+        assert tracer.open_spans == 0
+        roots = _roots(tracer.spans())
+        assert sorted(r.status for r in roots) == ["error", "ok", "ok"]
+        shed_root = next(r for r in roots if r.status == "error")
+        assert "ServiceOverloadedError" in shed_root.error
+        assert shed_root.args.get("priority") == "low"
+        # Telemetry agrees with the trace.
+        assert service.stats().shed_by_priority == {"low": 1}
