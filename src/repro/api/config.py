@@ -65,9 +65,14 @@ class ExecutionOptions:
         Execution engine streaming values through a compiled plan (all
         kinds): ``"simulate"`` for the cycle-accurate simulators,
         ``"vectorized"`` for the NumPy diagonal-sweep engines (identical
-        values and metrics, no cycle-level artifacts), or ``"auto"``
-        (the default) which picks the vectorized engine unless a
-        data-flow trace is requested.
+        values and metrics, no cycle-level artifacts), ``"compiled"``
+        for the ahead-of-time lowered fused kernels of
+        :mod:`repro.compiled` (same bit-identity contract, optional
+        Numba acceleration, epilogue fusion at graph-compile time), or
+        ``"auto"`` (the default) which picks the vectorized engine
+        unless a data-flow trace is requested — never ``compiled``;
+        promoting the compiled backend to the default is deliberately
+        left as its own future change.
     record_trace
         Record the cycle-by-cycle data-flow trace (matvec; forces the
         simulator backend under ``backend="auto"``).

@@ -112,6 +112,18 @@ class MatVecHandler(ProblemHandler):
 
     def wrap(self, plan, legacy) -> Solution:
         """Adapt a :class:`~repro.core.matvec.MatVecSolution`."""
+        # Unpaired delays are pure band geometry, so they are cached on
+        # the plan after the first solve (getattr: plans persisted before
+        # the cache slot existed deserialize without it).  Paired runs
+        # shift the second problem's schedule into the idle cycles, so
+        # their delays are computed per run, never cached.
+        feedback = None
+        if not legacy.overlapped:
+            feedback = getattr(plan.executor, "feedback_stats", None)
+        if feedback is None:
+            feedback = FeedbackStats.from_delays(legacy.feedback_delays)
+            if not legacy.overlapped and hasattr(plan.executor, "feedback_stats"):
+                plan.executor.feedback_stats = feedback
         return Solution(
             kind=self.kind,
             w=plan.spec.w,
@@ -120,7 +132,7 @@ class MatVecHandler(ProblemHandler):
             predicted_steps=legacy.predicted_steps,
             measured_utilization=legacy.measured_utilization,
             predicted_utilization=legacy.predicted_utilization,
-            feedback=FeedbackStats.from_delays(legacy.feedback_delays),
+            feedback=feedback,
             stats={"overlapped": legacy.overlapped},
             raw=legacy,
             plan_key=plan.key,
@@ -600,3 +612,8 @@ for _handler_class in (
 # register themselves on import, exactly like the handlers above; pulling
 # the module in here keeps "import repro.api" sufficient for every kind.
 from ..nn import handlers as _nn_handlers  # noqa: E402,F401
+
+# The fused-chain kind registers the same way: the graph compiler only
+# *creates* fused stages, but a persisted fused plan must re-resolve its
+# handler at load time through the ordinary registry path.
+from ..compiled import fusion as _compiled_fusion  # noqa: E402,F401

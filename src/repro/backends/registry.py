@@ -19,10 +19,23 @@ The package can *execute* a compiled plan in more than one way:
     quantities.  No per-cycle state is kept, which makes large-``N``
     solves orders of magnitude faster.
 
+``compiled``
+    The ahead-of-time lowered kernels in :mod:`repro.compiled`.  Every
+    cached plan is a perfect compilation unit — the gather/feedback
+    schedule depends only on ``(kind, shapes, w, options)`` — so the
+    compiled backend lowers a plan's geometry once into fused
+    strided-view/einsum kernels (optionally Numba-jitted when Numba is
+    importable) that replay the simulator's exact fold order without the
+    vectorized backend's per-sweep Python loop.  Values and metrics stay
+    bit-identical to both other backends.
+
 ``auto``
     Resolution rule, not an engine: ``vectorized`` when only values and
     metrics are needed, ``simulate`` when a cycle-level artifact (a
-    data-flow trace) was requested.
+    data-flow trace) was requested.  ``auto`` deliberately does *not*
+    resolve to ``compiled`` yet: the compiled backend is explicit opt-in
+    (``backend="compiled"``) until it is soak-proven, at which point the
+    rule flips in one place here.
 
 Backends are registered as :class:`BackendSpec` descriptors so that new
 engines (a GPU sweep, a distributed executor) plug in without touching
@@ -31,6 +44,7 @@ the plan code: register a spec, teach the plans to dispatch on its name.
 
 from __future__ import annotations
 
+import difflib
 import threading
 from dataclasses import dataclass
 from typing import Dict, Tuple
@@ -42,6 +56,7 @@ __all__ = [
     "AUTO_BACKEND",
     "SIMULATE",
     "VECTORIZED",
+    "COMPILED",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -54,6 +69,8 @@ AUTO_BACKEND = "auto"
 SIMULATE = "simulate"
 #: Name of the NumPy diagonal-sweep backend.
 VECTORIZED = "vectorized"
+#: Name of the ahead-of-time lowered kernel backend.
+COMPILED = "compiled"
 
 
 @dataclass(frozen=True)
@@ -97,10 +114,12 @@ def get_backend(name: str) -> BackendSpec:
         return _REGISTRY[name]
     except KeyError:
         with _REGISTRY_LOCK:
-            known = ", ".join(sorted(_REGISTRY) + [AUTO_BACKEND])
-        raise BackendError(
-            f"unknown execution backend {name!r}; available: {known}"
-        ) from None
+            names = sorted(_REGISTRY) + [AUTO_BACKEND]
+        message = f"unknown execution backend {name!r}; available: {', '.join(names)}"
+        close = difflib.get_close_matches(str(name), names, n=1)
+        if close:
+            message += f"; did you mean {close[0]!r}?"
+        raise BackendError(message) from None
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -141,6 +160,16 @@ register_backend(
     BackendSpec(
         name=VECTORIZED,
         description="NumPy diagonal-sweep engines (bit-identical values, no cycle state)",
+        supports_trace=False,
+    )
+)
+register_backend(
+    BackendSpec(
+        name=COMPILED,
+        description=(
+            "ahead-of-time lowered sweep kernels with cross-stage fusion "
+            "(bit-identical values, optional Numba specialization)"
+        ),
         supports_trace=False,
     )
 )

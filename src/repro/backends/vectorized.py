@@ -257,17 +257,22 @@ def build_linear_run(
     total_cycles = 0
     mac_total = 0
     useful = 0
-    events: List[Tuple[int, int, int]] = []
     output_count = 0
     for offset, plan in enumerate(plans):
         total_cycles = max(total_cycles, linear_total_cycles(w, plan.band_rows, offset))
         mac_total += plan.mac_operations
         useful += plan.useful_operations
-        events.extend(plan.feedback_events(offset))
         output_count += plan.band_rows
-    if len(plans) > 1:
+    if len(plans) == 1:
+        # Share the plan's memoized event list instead of copying its
+        # O(bands) tuples per solve; results treat the list as read-only.
+        events: List[Tuple[int, int, int]] = plans[0].feedback_events(0)
+    else:
         # The simulator records feedback events in consumption-cycle
         # order, which interleaves overlapped problems.
+        events = []
+        for offset, plan in enumerate(plans):
+            events.extend(plan.feedback_events(offset))
         events.sort(key=lambda event: event[2])
     # Outputs enter the w-register chain every other cycle for one problem
     # (ceil(w/2) simultaneously resident) and every cycle when two

@@ -27,7 +27,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..backends.registry import VECTORIZED, resolve_backend
+from ..backends.registry import COMPILED, VECTORIZED, resolve_backend
 from ..backends.vectorized import LinearSweepPlan, linear_total_cycles
 from ..errors import ShapeError
 from ..matrices.blocks import BlockGrid
@@ -65,14 +65,19 @@ class BlockPartitionedMatVec:
         self._w = validate_array_size(w)
         self._backend = resolve_backend(backend)
         # One shape-keyed sweep skeleton serves every w x w block.
-        self._sweep = (
-            LinearSweepPlan(
+        self._sweep: Optional[LinearSweepPlan] = None
+        if self._backend == VECTORIZED:
+            self._sweep = LinearSweepPlan(
                 w=self._w, n=self._w, m=self._w, n_bar=1, m_bar=1,
                 useful_operations=self._w * self._w,
             )
-            if self._backend == VECTORIZED
-            else None
-        )
+        elif self._backend == COMPILED:
+            from ..compiled.lowering import lower_linear_plan
+
+            self._sweep = lower_linear_plan(
+                w=self._w, n=self._w, m=self._w, n_bar=1, m_bar=1,
+                useful_operations=self._w * self._w,
+            )
 
     @property
     def w(self) -> int:

@@ -1,0 +1,34 @@
+"""repro.compiled — the ahead-of-time compiled kernel backend.
+
+The third execution backend (``backend="compiled"``): lowers cached
+plan geometry to fused strided-view/einsum kernels with an optional
+Numba specialization, and fuses NN epilogue chains into single compiled
+stage groups at graph-compile time.
+
+Modules
+-------
+``kernels``   the numeric kernel bodies (NumPy always, Numba optional)
+``lowering``  plan geometry -> compiled sweep skeletons
+``cache``     process-wide geometry-keyed memo of lowered kernels
+``fusion``    the ``fused`` graph kind: detection rewrite + executor
+
+``fusion`` is imported by :mod:`repro.api.problems` for handler
+registration (like the NN kinds) and is deliberately not imported here:
+the core plans lazily import this package's ``lowering`` on the first
+compiled plan build, and that path must not drag the api layer in.
+"""
+
+from .cache import KernelCache, kernel_cache
+from .kernels import NUMBA_AVAILABLE, NUMBA_DISABLE_ENV, numba_enabled
+from .lowering import CompiledLinearPlan, lower_hex_plan, lower_linear_plan
+
+__all__ = [
+    "KernelCache",
+    "kernel_cache",
+    "NUMBA_AVAILABLE",
+    "NUMBA_DISABLE_ENV",
+    "numba_enabled",
+    "CompiledLinearPlan",
+    "lower_hex_plan",
+    "lower_linear_plan",
+]

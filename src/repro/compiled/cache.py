@@ -1,0 +1,82 @@
+"""Process-wide memo of lowered kernels.
+
+Lowering is geometry-only: a compiled sweep skeleton depends on
+``(kind, padded shapes, w)`` and nothing else, so plans that differ only
+in non-geometric options (tolerances, zero points, dtype modes of the
+surrounding stages) can share one lowered kernel.  The
+:class:`KernelCache` provides that sharing one level below the api
+layer's :class:`~repro.api.plan.PlanCache`: even when two distinct plan
+keys miss the plan cache, their lowering can still hit here.
+
+Accounting uses the same :class:`~repro.instrumentation.CacheStats`
+currency as every other cache in the package.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from ..instrumentation import CacheStats
+
+__all__ = ["KernelCache", "kernel_cache"]
+
+
+class KernelCache:
+    """Thread-safe LRU memo keyed by lowering geometry."""
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def lowered(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        """The kernel lowered for ``key``, building it on first use.
+
+        ``build`` runs outside the lock (lowering may allocate large
+        index tensors); if two threads race the same key, the first
+        stored kernel wins and the loser's build is discarded — kernels
+        are value-independent, so either copy is correct.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return entry
+        built = build()
+        with self._lock:
+            self._misses += 1
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = built
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return built
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self._maxsize,
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: The process-wide instance every lowering call goes through.
+kernel_cache = KernelCache()

@@ -1,0 +1,168 @@
+"""Numeric kernels of the compiled backend.
+
+The lowering layer (:mod:`repro.compiled.lowering`) reduces a cached
+plan's gather tables to straight-line array programs; the kernels here
+are the value-streaming bodies those programs call.  Two implementations
+exist for the fused float sweep:
+
+* a pure-NumPy body that multiplies each row lane directly into a
+  ``b``-seeded accumulator (rotated into consumption order by strided
+  slice assignment, never a gather) and folds it with one in-place
+  ``np.add.accumulate`` prefix sum (always available), and
+* a Numba ``@njit`` body compiled lazily on first use when Numba is
+  importable (no ``fastmath`` — the sequential fold order is the whole
+  bit-identity contract).
+
+Both bodies replay the simulator's exact left fold
+``((b + p_0) + p_1) + ...`` per padded row, so their results are
+bit-identical to each other and to the other two backends — asserted by
+``tests/test_compiled.py``.  Numba use can be vetoed without
+uninstalling it by setting the :data:`NUMBA_DISABLE_ENV` environment
+variable (the CI matrix runs one leg each way).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "NUMBA_DISABLE_ENV",
+    "numba_enabled",
+    "fused_linear_sweep",
+    "int_pass_sums",
+]
+
+try:  # pragma: no cover - exercised only on the Numba-installed CI leg
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the Numba-free leg
+    _njit = None
+    NUMBA_AVAILABLE = False
+
+#: Set to ``1``/``true`` to force the pure-NumPy kernels even when Numba
+#: is importable (parity testing, debugging, reproducibility audits).
+NUMBA_DISABLE_ENV = "REPRO_COMPILED_DISABLE_NUMBA"
+
+
+def numba_enabled() -> bool:
+    """Whether the Numba-specialized kernel bodies are in use."""
+    veto = os.environ.get(NUMBA_DISABLE_ENV, "").strip().lower()
+    return NUMBA_AVAILABLE and veto not in ("1", "true", "yes", "on")
+
+
+def _sweep_numpy(
+    a_pad: np.ndarray,
+    x_pad: np.ndarray,
+    b_pad: np.ndarray,
+    w: int,
+    n_bar: int,
+    m_bar: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused multiply-rotate-fold with per-pass snapshots.
+
+    Row ``r`` consumes padded columns cyclically from ``s_r = r mod w``,
+    and rows with equal ``s_r`` share a lane of the ``(N_bar, w, ...)``
+    view — so each lane's products are written *already rotated* into
+    columns ``1..M_pad`` of a ``b``-seeded accumulator (two strided
+    slice products per lane, no gather, no intermediate product array).
+    ``np.add.accumulate`` is a sequential accumulate (each output is the
+    previous output plus the next input, never a pairwise tree), so one
+    in-place prefix sum along the contiguous axis is the simulator's
+    per-row fold verbatim; column ``(j + 1) w`` is then exactly the
+    pass-``j`` partial snapshot.
+    """
+    n_pad = n_bar * w
+    m_pad = m_bar * w
+    acc = np.empty((n_pad, m_pad + 1), dtype=np.float64)
+    acc[:, 0] = b_pad
+    acc3 = acc.reshape(n_bar, w, m_pad + 1)
+    a3 = a_pad.reshape(n_bar, w, m_pad)
+    acc3[:, 0, 1:] = a3[:, 0, :] * x_pad
+    for lane in range(1, w):
+        split = m_pad - lane
+        acc3[:, lane, 1 : split + 1] = a3[:, lane, lane:] * x_pad[lane:]
+        acc3[:, lane, split + 1 :] = a3[:, lane, :lane] * x_pad[:lane]
+    np.add.accumulate(acc, axis=1, out=acc)
+    y = acc[:, -1].copy()
+    band_outputs = (
+        acc[:, w::w]
+        .T.reshape(m_bar, n_bar, w)
+        .transpose(1, 0, 2)
+        .reshape(-1)
+    )
+    return band_outputs, y
+
+
+# One compiled dispatcher per process, built on first use.  Numba
+# dispatchers don't pickle, so plan objects never hold them — they reach
+# this module-level cache at call time instead.
+_NUMBA_SWEEP = None
+
+
+def _numba_sweep():  # pragma: no cover - Numba-installed leg only
+    global _NUMBA_SWEEP
+    if _NUMBA_SWEEP is None:
+
+        @_njit(cache=False)
+        def sweep(a_pad, x_pad, b_pad, w, n_bar, m_bar):
+            n_pad = n_bar * w
+            m_pad = m_bar * w
+            y = b_pad.copy()
+            partials = np.empty((m_bar, n_pad), dtype=np.float64)
+            for r in range(n_pad):
+                shift = r % w
+                acc = y[r]
+                for t in range(m_pad):
+                    c = t + shift
+                    if c >= m_pad:
+                        c -= m_pad
+                    acc = acc + a_pad[r, c] * x_pad[c]
+                    if (t + 1) % w == 0:
+                        partials[(t + 1) // w - 1, r] = acc
+                y[r] = acc
+            return partials, y
+
+        _NUMBA_SWEEP = sweep
+    return _NUMBA_SWEEP
+
+
+def fused_linear_sweep(
+    a_pad: np.ndarray,
+    x_pad: np.ndarray,
+    b_pad: np.ndarray,
+    w: int,
+    n_bar: int,
+    m_bar: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(band_outputs, y_padded)`` of one compiled float mat-vec sweep.
+
+    Operands arrive padded to ``w`` multiples as contiguous float64
+    arrays (the lowering layer guarantees it); the band output ordering
+    matches :meth:`~repro.backends.vectorized.LinearSweepPlan.sweep`
+    element for element.
+    """
+    if numba_enabled():  # pragma: no cover - Numba-installed leg only
+        partials, y = _numba_sweep()(a_pad, x_pad, b_pad, w, n_bar, m_bar)
+        band_outputs = (
+            partials.reshape(m_bar, n_bar, w).transpose(1, 0, 2).reshape(-1)
+        )
+        return band_outputs, y
+    return _sweep_numpy(a_pad, x_pad, b_pad, w, n_bar, m_bar)
+
+
+def int_pass_sums(shifted: np.ndarray, m_bar: int, w: int) -> np.ndarray:
+    """Per-pass int32 block sums of lane-aligned integer products.
+
+    One einsum contraction over the ``(N_pad, M_bar, w)`` view replaces
+    the blocked ``.sum``; integer addition is associative, so the result
+    is the same int32 the simulator's accumulators hold (the caller
+    guarantees no overflow, as everywhere on the int8 path).
+    """
+    n_pad = shifted.shape[0]
+    view = shifted.reshape(n_pad, m_bar, w)
+    return np.einsum("rjt->rj", view, dtype=np.int32)

@@ -1,0 +1,189 @@
+"""Lowering cached plan geometry to ahead-of-time compiled sweep kernels.
+
+The vectorized backend interprets a plan every execute: the float
+mat-vec sweep walks ``M_pad`` timesteps in a Python loop over a
+fancy-gathered product table.  The schedule that loop replays is fixed
+at plan-build time, so the compiled backend lowers it once into a
+straight-line program —
+
+``products``
+    strided slice multiplies of the padded operands; no gather.  Row
+    ``r`` consumes padded columns cyclically from ``s_r = r mod w``, and
+    rows with equal ``s_r`` share a lane of the ``(N_bar, w, M_pad)``
+    view, so each lane's products land *already rotated* into the
+    accumulator with two slice products.
+
+``fold``
+    the simulator's strict left fold ``((b + p_0) + p_1) + ...`` as one
+    in-place prefix sum along the contiguous axis
+    (:func:`repro.compiled.kernels.fused_linear_sweep`), with every
+    pass-``j`` partial snapshot read back from accumulator column
+    ``(j + 1) w``.  Optionally a Numba ``@njit`` body instead — same
+    fold order, same bits.
+
+Float addition is not associative, so the fold never reassociates:
+every kernel here produces results bit-identical to the simulate and
+vectorized backends (signed zeros included).  ``np.einsum`` appears only
+on the exact-integer int8 path, where associativity is free.
+
+Lowered skeletons are memoized process-wide in
+:data:`repro.compiled.cache.kernel_cache` and contain nothing but
+geometry (ints and small tuples): they pickle into
+:class:`~repro.store.PlanStore` artifacts directly, and unpicklable
+Numba dispatchers are resolved from :mod:`repro.compiled.kernels` at
+call time, never stored on the plan.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..backends.vectorized import HexSweepPlan, LinearSweepPlan
+from .cache import kernel_cache
+from .kernels import fused_linear_sweep, int_pass_sums
+
+__all__ = [
+    "CompiledLinearPlan",
+    "lower_linear_plan",
+    "lower_hex_plan",
+]
+
+
+class CompiledLinearPlan(LinearSweepPlan):
+    """A :class:`LinearSweepPlan` whose sweeps run as compiled kernels.
+
+    Same geometry, metrics and feedback model as the parent — so
+    :func:`~repro.backends.vectorized.build_linear_run` assembles run
+    results from it unchanged — but the value-streaming methods are the
+    lowered straight-line programs described in the module docstring.
+    """
+
+    def __init__(self, w: int, n: int, m: int, n_bar: int, m_bar: int,
+                 useful_operations: int):
+        super().__init__(w, n, m, n_bar, m_bar, useful_operations)
+        # The compiled sweeps rotate rows with strided lane copies, so
+        # the parent's O(N_pad * M_pad) gather tensors are dead weight:
+        # dropping them keeps lowering cheap and pickled artifacts lean.
+        self._col_idx = None
+        self._row_idx = None
+
+    def _rotate_lanes(self, products: np.ndarray) -> np.ndarray:
+        """Rotate row ``r``'s products left by ``r mod w`` (strided copies)."""
+        raw = products.reshape(self._n_bar, self._w, self._m_pad)
+        shifted = np.empty_like(raw)
+        shifted[:, 0] = raw[:, 0]
+        for lane in range(1, self._w):
+            shifted[:, lane, :-lane] = raw[:, lane, lane:]
+            shifted[:, lane, -lane:] = raw[:, lane, :lane]
+        return shifted.reshape(self._n_pad, self._m_pad)
+
+    def _pad_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Padded contiguous float64 operand; no copy when already aligned."""
+        a = np.asarray(matrix, dtype=np.float64)
+        if a.shape == (self._n_pad, self._m_pad):
+            return np.ascontiguousarray(a)
+        a_pad = np.zeros((self._n_pad, self._m_pad), dtype=np.float64)
+        a_pad[: self._n, : self._m] = a
+        return a_pad
+
+    def _pad_vector(
+        self, values: Optional[np.ndarray], n: int, n_pad: int
+    ) -> np.ndarray:
+        if values is None:
+            return np.zeros(n_pad, dtype=np.float64)
+        v = np.asarray(values, dtype=np.float64)
+        if v.shape == (n_pad,):
+            return np.ascontiguousarray(v)
+        v_pad = np.zeros(n_pad, dtype=np.float64)
+        v_pad[:n] = v
+        return v_pad
+
+    def sweep(
+        self,
+        matrix: np.ndarray,
+        x: np.ndarray,
+        b: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return fused_linear_sweep(
+            self._pad_matrix(matrix),
+            self._pad_vector(x, self._m, self._m_pad),
+            self._pad_vector(b, self._n, self._n_pad),
+            self._w,
+            self._n_bar,
+            self._m_bar,
+        )
+
+    def int_sweep(
+        self,
+        matrix: np.ndarray,
+        x: np.ndarray,
+        b: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        for name, operand in (("matrix", matrix), ("x", x), ("b", b)):
+            if operand is not None and not np.issubdtype(
+                np.asarray(operand).dtype, np.integer
+            ):
+                raise TypeError(
+                    f"int_sweep needs integer operands, got {name} of dtype "
+                    f"{np.asarray(operand).dtype}"
+                )
+        a_pad = np.zeros((self._n_pad, self._m_pad), dtype=np.int32)
+        a_pad[: self._n, : self._m] = matrix
+        x_pad = np.zeros(self._m_pad, dtype=np.int32)
+        x_pad[: self._m] = x
+        b_pad = np.zeros(self._n_pad, dtype=np.int32)
+        if b is not None:
+            b_pad[: self._n] = b
+        shifted = self._rotate_lanes(a_pad * x_pad[None, :])
+        partials = np.cumsum(
+            int_pass_sums(shifted, self._m_bar, self._w), axis=1, dtype=np.int32
+        )
+        partials += b_pad[:, None]
+        y = partials[:, -1].copy()
+        band_outputs = (
+            partials.T.reshape(self._m_bar, self._n_bar, self._w)
+            .transpose(1, 0, 2)
+            .reshape(-1)
+            .copy()
+        )
+        return band_outputs, y
+
+
+def lower_linear_plan(
+    w: int, n: int, m: int, n_bar: int, m_bar: int, useful_operations: int
+) -> CompiledLinearPlan:
+    """The compiled linear sweep for one mat-vec geometry (memoized)."""
+    key = (
+        "linear",
+        int(w), int(n), int(m), int(n_bar), int(m_bar),
+        int(useful_operations),
+    )
+    return kernel_cache.lowered(
+        key,
+        lambda: CompiledLinearPlan(w, n, m, n_bar, m_bar, useful_operations),
+    )
+
+
+def lower_hex_plan(operands, placement, useful_operations: int) -> HexSweepPlan:
+    """The compiled hexagonal sweep for one mat-mul geometry (memoized).
+
+    The hexagonal engine already executes as a handful of fancy-indexed
+    folds per chain depth, and its per-(depth, term) accumulation order
+    cannot be merged further without reassociating float additions — so
+    lowering a mat-mul *is* building that skeleton; what the compiled
+    backend adds is geometry-keyed sharing of the (expensive) build.
+    The mat-mul-specific speedup instead comes from graph-level fusion
+    (:mod:`repro.compiled.fusion`).
+    """
+    key = (
+        "hex",
+        int(operands.w),
+        tuple(int(d) for d in operands.a_shape),
+        tuple(int(d) for d in operands.b_shape),
+        int(useful_operations),
+    )
+    return kernel_cache.lowered(
+        key, lambda: HexSweepPlan(operands, placement, useful_operations)
+    )

@@ -36,11 +36,11 @@ the :mod:`repro.api` façade adds the LRU-cached front door.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..backends.registry import SIMULATE, VECTORIZED, resolve_backend
+from ..backends.registry import COMPILED, SIMULATE, VECTORIZED, resolve_backend
 from ..backends.vectorized import HexSweepPlan, LinearSweepPlan, build_linear_run
 from ..errors import ShapeError
 from ..instrumentation import CacheStats, counters
@@ -168,9 +168,28 @@ class MatVecPlan:
         self._useful = self._n * self._m
         self._model = MatVecModel(n=self._n, m=self._m, w=self._w, overlapped=False)
         self._array = LinearContraflowArray(self._w, record_trace=self._record_trace)
+        # Unpaired feedback delays are pure band geometry — identical on
+        # every plain execute of this plan — so the api handler caches
+        # the wrapped FeedbackStats here after the first solve instead
+        # of rebuilding the O(bands) delay list per request.  Paired
+        # (overlapped) runs shift the schedule and are never cached.
+        self.feedback_stats: Optional[Any] = None
         self._sweep: Optional[LinearSweepPlan] = None
         if self._backend == VECTORIZED:
             self._sweep = LinearSweepPlan(
+                w=self._w,
+                n=self._n,
+                m=self._m,
+                n_bar=template.n_bar,
+                m_bar=template.m_bar,
+                useful_operations=self._useful,
+            )
+        elif self._backend == COMPILED:
+            # Lazy: the compiled subsystem is only pulled in when a
+            # compiled plan is actually built.
+            from ..compiled.lowering import lower_linear_plan
+
+            self._sweep = lower_linear_plan(
                 w=self._w,
                 n=self._n,
                 m=self._m,
@@ -190,7 +209,7 @@ class MatVecPlan:
 
     @property
     def backend(self) -> str:
-        """The resolved execution backend (``simulate`` or ``vectorized``)."""
+        """The resolved execution backend (``simulate``/``vectorized``/``compiled``)."""
         return self._backend
 
     @property
@@ -208,7 +227,7 @@ class MatVecPlan:
 
     @property
     def sweep_plan(self) -> Optional[LinearSweepPlan]:
-        """The vectorized sweep skeleton (``None`` on the simulate backend).
+        """The sweep skeleton (``None`` on the simulate backend).
 
         Exposed for engines that layer other datapaths over the same band
         geometry — the :mod:`repro.nn` int8 dense plan drives
@@ -413,7 +432,7 @@ class OverlappedMatVecPlan:
         top_rows = self._partition.first_rows
         top_b = b[:top_rows] if b is not None else None
         bottom_b = b[top_rows:] if b is not None else None
-        if self._backend == VECTORIZED:
+        if self._backend in (VECTORIZED, COMPILED):
             top_outputs, top_y = self._top._sweep.sweep(
                 matrix[:top_rows, :], x, top_b
             )
@@ -525,6 +544,13 @@ class MatMulPlan:
         self._hex_sweep: Optional[HexSweepPlan] = None
         if self._backend == VECTORIZED:
             self._hex_sweep = HexSweepPlan(operands, self._placement, self._useful)
+        elif self._backend == COMPILED:
+            # The hexagonal skeleton is already a lowered straight-line
+            # program; the compiled backend adds geometry-keyed sharing
+            # of its (expensive) build.  Lazy import as in MatVecPlan.
+            from ..compiled.lowering import lower_hex_plan
+
+            self._hex_sweep = lower_hex_plan(operands, self._placement, self._useful)
 
     # -- geometry -----------------------------------------------------------------
     @property
@@ -538,7 +564,7 @@ class MatMulPlan:
 
     @property
     def backend(self) -> str:
-        """The resolved execution backend (``simulate`` or ``vectorized``)."""
+        """The resolved execution backend (``simulate``/``vectorized``/``compiled``)."""
         return self._backend
 
     @property

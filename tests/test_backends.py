@@ -1,10 +1,12 @@
-"""Cross-backend equivalence: the vectorized sweeps against the simulator.
+"""Cross-backend equivalence: vectorized and compiled against the simulator.
 
-The contract of the ``vectorized`` backend is *bit-identical outputs and
-identical structural metrics* — not approximate agreement.  These tests
-sweep (shape, w, seed) grids over all six primary problem kinds plus the
-baselines, solving each instance on both backends and asserting exact
-equality of values, step counts, utilizations and feedback statistics.
+The contract of the ``vectorized`` and ``compiled`` backends is
+*bit-identical outputs and identical structural metrics* — not
+approximate agreement.  These tests sweep (shape, w, seed) grids over
+all six primary problem kinds plus the baselines, solving each instance
+on every backend and asserting exact equality of values, step counts,
+utilizations and feedback statistics (``both()`` checks the compiled
+backend inline, so every grid built on it covers all three).
 """
 
 from __future__ import annotations
@@ -31,9 +33,27 @@ def solver_for(w: int, backend: str, **overrides) -> Solver:
 
 
 def both(kind: str, w: int, operands, **overrides):
-    """Solve one instance on both backends; returns (simulated, vectorized)."""
+    """Solve one instance on all three backends; returns (simulated, vectorized).
+
+    The compiled solution is asserted bit-identical to the vectorized
+    one inline — values, dtype, metrics, stats and feedback — so the
+    historical two-backend call sites extend the contract to the
+    compiled backend without touching their own assertions.
+    """
     simulated = solver_for(w, "simulate", **overrides).solve(kind, *operands)
     vectorized = solver_for(w, "vectorized", **overrides).solve(kind, *operands)
+    compiled = solver_for(w, "compiled", **overrides).solve(kind, *operands)
+    assert np.array_equal(compiled.values, vectorized.values)
+    assert np.asarray(compiled.values).dtype == np.asarray(vectorized.values).dtype
+    assert compiled.measured_steps == vectorized.measured_steps
+    assert compiled.predicted_steps == vectorized.predicted_steps
+    assert compiled.measured_utilization == vectorized.measured_utilization
+    assert compiled.predicted_utilization == vectorized.predicted_utilization
+    assert compiled.stats == vectorized.stats
+    if vectorized.feedback is not None:
+        assert compiled.feedback.count == vectorized.feedback.count
+        assert compiled.feedback.min_delay == vectorized.feedback.min_delay
+        assert compiled.feedback.max_delay == vectorized.feedback.max_delay
     return simulated, vectorized
 
 
@@ -73,6 +93,29 @@ class TestBackendRegistry:
     def test_invalid_registration_rejected(self):
         with pytest.raises(BackendError):
             register_backend(BackendSpec(name="auto", description="reserved"))
+
+    def test_compiled_backend_registered(self):
+        assert "compiled" in available_backends()
+        assert not get_backend("compiled").supports_trace
+        with pytest.raises(BackendError):
+            resolve_backend("compiled", record_trace=True)
+
+    def test_unknown_backend_suggests_nearest(self):
+        with pytest.raises(BackendError, match="did you mean 'compiled'"):
+            resolve_backend("compilde")
+        with pytest.raises(BackendError, match="did you mean 'vectorized'"):
+            ExecutionOptions(backend="vectorised")
+        # A name close to nothing gets the plain listing, no suggestion.
+        with pytest.raises(BackendError, match="available:") as excinfo:
+            resolve_backend("quantum")
+        assert "did you mean" not in str(excinfo.value)
+
+    def test_auto_does_not_resolve_to_compiled(self):
+        # Policy lock: ``auto`` stays on vectorized (or simulate under a
+        # trace) until the compiled backend is soak-proven; flipping this
+        # test is the deliberate act that changes the default.
+        assert resolve_backend("auto") == "vectorized"
+        assert resolve_backend("auto", record_trace=True) == "simulate"
 
     def test_auto_plans_use_vectorized_engine(self):
         solver = Solver(ArraySpec(w=3))  # default options: backend="auto"
@@ -123,11 +166,12 @@ class TestMatVecEquivalence:
             (rng.normal(size=(9, 9)), rng.normal(size=9)) for _ in range(4)
         ]
         simulated = solver_for(3, "simulate").solve_batch("matvec", batch)
-        vectorized = solver_for(3, "vectorized").solve_batch("matvec", batch)
-        for sim_solution, vec_solution in zip(simulated, vectorized):
-            assert sim_solution.stats.get("paired") and vec_solution.stats.get("paired")
-            assert np.array_equal(vec_solution.values, sim_solution.values)
-            assert vec_solution.measured_steps == sim_solution.measured_steps
+        for backend in ("vectorized", "compiled"):
+            solutions = solver_for(3, backend).solve_batch("matvec", batch)
+            for sim_solution, solution in zip(simulated, solutions):
+                assert sim_solution.stats.get("paired") and solution.stats.get("paired")
+                assert np.array_equal(solution.values, sim_solution.values)
+                assert solution.measured_steps == sim_solution.measured_steps
 
 
 class TestMatMulEquivalence:
@@ -163,12 +207,13 @@ class TestBlockedPipelineEquivalence:
             simulated = solver_for(w, "simulate").solve(
                 "triangular", matrix, b, lower=lower
             )
-            vectorized = solver_for(w, "vectorized").solve(
-                "triangular", matrix, b, lower=lower
-            )
-            assert np.array_equal(vectorized.values, simulated.values)
-            assert vectorized.measured_steps == simulated.measured_steps
-            assert vectorized.stats == simulated.stats
+            for backend in ("vectorized", "compiled"):
+                solution = solver_for(w, backend).solve(
+                    "triangular", matrix, b, lower=lower
+                )
+                assert np.array_equal(solution.values, simulated.values)
+                assert solution.measured_steps == simulated.measured_steps
+                assert solution.stats == simulated.stats
 
     @pytest.mark.parametrize("w", [2, 3])
     @pytest.mark.parametrize("n", [4, 7])
@@ -177,11 +222,12 @@ class TestBlockedPipelineEquivalence:
         rng = np.random.default_rng(seed)
         a = rng.normal(size=(n, n)) + (n + 3) * np.eye(n)
         simulated = solver_for(w, "simulate").solve("lu", a)
-        vectorized = solver_for(w, "vectorized").solve("lu", a)
-        for sim_factor, vec_factor in zip(simulated.values, vectorized.values):
-            assert np.array_equal(vec_factor, sim_factor)
-        assert vectorized.measured_steps == simulated.measured_steps
-        assert vectorized.stats == simulated.stats
+        for backend in ("vectorized", "compiled"):
+            solution = solver_for(w, backend).solve("lu", a)
+            for sim_factor, factor in zip(simulated.values, solution.values):
+                assert np.array_equal(factor, sim_factor)
+            assert solution.measured_steps == simulated.measured_steps
+            assert solution.stats == simulated.stats
 
     @pytest.mark.parametrize("w", [2, 3])
     @pytest.mark.parametrize("n", [4, 6])
@@ -189,10 +235,11 @@ class TestBlockedPipelineEquivalence:
         a = rng.normal(size=(n, n)) + (2 * n) * np.eye(n)
         b = rng.normal(size=n)
         simulated = solver_for(w, "simulate").solve("gauss_seidel", a, b)
-        vectorized = solver_for(w, "vectorized").solve("gauss_seidel", a, b)
-        assert np.array_equal(vectorized.values, simulated.values)
-        assert vectorized.measured_steps == simulated.measured_steps
-        assert vectorized.stats == simulated.stats
+        for backend in ("vectorized", "compiled"):
+            solution = solver_for(w, backend).solve("gauss_seidel", a, b)
+            assert np.array_equal(solution.values, simulated.values)
+            assert solution.measured_steps == simulated.measured_steps
+            assert solution.stats == simulated.stats
 
 
 class TestSparseEquivalence:
@@ -270,17 +317,18 @@ class TestNNEquivalence:
         simulated = solver_for(w, "simulate", dtype_mode="int8").solve(
             "dense", matrix, x, x_zero_point=zero_point
         )
-        vectorized = solver_for(w, "vectorized", dtype_mode="int8").solve(
-            "dense", matrix, x, x_zero_point=zero_point
-        )
         expected = matrix.astype(np.int64) @ (x.astype(np.int64) - zero_point)
         assert simulated.values.dtype == np.int32
-        assert vectorized.values.dtype == np.int32
         assert np.array_equal(simulated.values, expected)
-        assert np.array_equal(vectorized.values, simulated.values)
-        assert_metrics_match(simulated, vectorized)
         assert simulated.stats["dtype_mode"] == "int8"
-        assert vectorized.stats["dtype_mode"] == "int8"
+        for backend in ("vectorized", "compiled"):
+            solution = solver_for(w, backend, dtype_mode="int8").solve(
+                "dense", matrix, x, x_zero_point=zero_point
+            )
+            assert solution.values.dtype == np.int32
+            assert np.array_equal(solution.values, simulated.values)
+            assert_metrics_match(simulated, solution)
+            assert solution.stats["dtype_mode"] == "int8"
 
     @pytest.mark.parametrize("w", [2, 3])
     @pytest.mark.parametrize("n", [5, 9])
@@ -306,12 +354,13 @@ class TestNNEquivalence:
         ]
         for kind, operands, kwargs in cases:
             simulated = solver_for(w, "simulate").solve(kind, *operands, **kwargs)
-            vectorized = solver_for(w, "vectorized").solve(
-                kind, *operands, **kwargs
-            )
-            assert np.array_equal(vectorized.values, simulated.values), kind
-            assert vectorized.values.dtype == simulated.values.dtype, kind
-            assert vectorized.stats == simulated.stats, kind
+            for backend in ("vectorized", "compiled"):
+                solution = solver_for(w, backend).solve(
+                    kind, *operands, **kwargs
+                )
+                assert np.array_equal(solution.values, simulated.values), kind
+                assert solution.values.dtype == simulated.values.dtype, kind
+                assert solution.stats == simulated.stats, kind
 
     @pytest.mark.parametrize("w", [2, 4])
     def test_relu_preserves_integer_dtype(self, w, rng):
